@@ -1,0 +1,138 @@
+// Package-level benchmarks: one per table/figure of the paper (each
+// re-runs the corresponding experiment at a reduced scale and reports
+// ns/op for the whole regeneration), plus ablation and micro benchmarks
+// for the design choices DESIGN.md calls out. The full-scale regenerations
+// live in cmd/scip-bench.
+package scip_test
+
+import (
+	"io"
+	"testing"
+
+	scip "github.com/scip-cache/scip"
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/exp"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/sim"
+)
+
+// benchCfg is the reduced-scale configuration the figure benchmarks run.
+func benchCfg() exp.Config {
+	return exp.Config{Scale: 0.001, Seeds: []int64{1}, Out: io.Discard, Quick: true}
+}
+
+// runFigure benches a whole experiment regeneration.
+func runFigure(b *testing.B, name string) {
+	b.Helper()
+	r, ok := exp.Lookup(name)
+	if !ok {
+		b.Fatalf("unknown experiment %q", name)
+	}
+	cfg := benchCfg()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := r.Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable1Stats(b *testing.B)               { runFigure(b, "table1") }
+func BenchmarkFig1ZROAnalysis(b *testing.B)           { runFigure(b, "fig1") }
+func BenchmarkFig3Oracle(b *testing.B)                { runFigure(b, "fig3") }
+func BenchmarkFig4ModelAccuracy(b *testing.B)         { runFigure(b, "fig4") }
+func BenchmarkFig6TDC(b *testing.B)                   { runFigure(b, "fig6") }
+func BenchmarkFig7SCIPvsSCI(b *testing.B)             { runFigure(b, "fig7") }
+func BenchmarkFig8InsertionPolicies(b *testing.B)     { runFigure(b, "fig8") }
+func BenchmarkFig9InsertionResources(b *testing.B)    { runFigure(b, "fig9") }
+func BenchmarkFig10Replacement(b *testing.B)          { runFigure(b, "fig10") }
+func BenchmarkFig11ReplacementResources(b *testing.B) { runFigure(b, "fig11") }
+func BenchmarkFig12Enhance(b *testing.B)              { runFigure(b, "fig12") }
+
+// --- Ablation benchmarks (DESIGN.md §6): SCIP variants on one workload.
+
+func ablationTrace(b *testing.B) (*scip.Trace, int64) {
+	b.Helper()
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.001, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr, gen.CDNT.CacheBytes(64<<30, 0.001)
+}
+
+func benchVariant(b *testing.B, opts ...core.Option) {
+	b.Helper()
+	tr, capBytes := ablationTrace(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		base := append([]core.Option{core.WithSeed(1), core.WithInterval(2000)}, opts...)
+		res := sim.Run(tr, core.NewCache(capBytes, base...), sim.Options{WarmupFrac: 0.2})
+		b.ReportMetric(res.MissRatio(), "missRatio")
+	}
+}
+
+func BenchmarkAblationDefault(b *testing.B)      { benchVariant(b) }
+func BenchmarkAblationHistorySize(b *testing.B)  { benchVariant(b, core.WithHistoryFraction(0.25)) }
+func BenchmarkAblationHistoryFull(b *testing.B)  { benchVariant(b, core.WithHistoryFraction(1.0)) }
+func BenchmarkAblationInterval(b *testing.B)     { benchVariant(b, core.WithInterval(500)) }
+func BenchmarkAblationUnifiedModel(b *testing.B) { benchVariant(b, core.WithUnifiedModel()) }
+func BenchmarkAblationNoDueling(b *testing.B)    { benchVariant(b, core.WithDueling(0)) }
+func BenchmarkAblationNoEvictSignal(b *testing.B) {
+	benchVariant(b, core.WithEvictGain(0))
+}
+func BenchmarkAblationNoHitSignal(b *testing.B) { benchVariant(b, core.WithHitGain(0)) }
+func BenchmarkAblationForceNone(b *testing.B)   { benchVariant(b, core.WithForceMode(core.ForceNone)) }
+
+// --- Micro benchmarks: per-access cost of the core data paths.
+
+func benchAccess(b *testing.B, p cache.Policy) {
+	b.Helper()
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.001, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := tr.Requests
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(reqs[i%len(reqs)])
+	}
+}
+
+func BenchmarkAccessLRU(b *testing.B) {
+	benchAccess(b, cache.NewLRU(64<<30/1000))
+}
+
+func BenchmarkAccessSCIP(b *testing.B) {
+	benchAccess(b, core.NewCache(64<<30/1000, core.WithSeed(1)))
+}
+
+func BenchmarkQueuePushEvict(b *testing.B) {
+	var q cache.Queue
+	entries := make([]cache.Entry, 1024)
+	for i := range entries {
+		entries[i] = cache.Entry{Key: uint64(i), Size: 1}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e := &entries[i%1024]
+		if e.InQueue() {
+			q.Remove(e)
+		}
+		q.PushFront(e)
+		if q.Len() > 512 {
+			q.Remove(q.Back())
+		}
+	}
+}
+
+func BenchmarkHistoryAddDelete(b *testing.B) {
+	h := cache.NewHistory(1 << 20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Add(uint64(i%4096), 256, cache.ResInserted)
+		if i%3 == 0 {
+			h.Delete(uint64((i - 1) % 4096))
+		}
+	}
+}

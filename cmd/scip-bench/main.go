@@ -1,0 +1,65 @@
+// Command scip-bench regenerates the paper's tables and figures on the
+// synthetic workload profiles.
+//
+// Usage:
+//
+//	scip-bench [-scale 0.01] [-seeds 3] [-quick] [all|table1|fig1|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablation ...]
+//
+// With no experiment arguments it lists the available experiments.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/scip-cache/scip/internal/exp"
+)
+
+func main() {
+	scale := flag.Float64("scale", 0.01, "trace scale relative to the paper's full workloads")
+	seeds := flag.Int("seeds", 3, "number of generation seeds to average over")
+	quick := flag.Bool("quick", false, "trim parameter grids for a smoke run")
+	flag.Parse()
+
+	cfg := exp.DefaultConfig(os.Stdout)
+	cfg.Scale = *scale
+	cfg.Quick = *quick
+	cfg.Seeds = cfg.Seeds[:0]
+	for i := 0; i < *seeds; i++ {
+		cfg.Seeds = append(cfg.Seeds, int64(i+1))
+	}
+
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Println("available experiments:")
+		for _, r := range exp.Runners() {
+			fmt.Printf("  %-10s %s\n", r.Name, r.Title)
+		}
+		fmt.Println("  all        run everything")
+		return
+	}
+	var selected []exp.Runner
+	for _, a := range args {
+		if a == "all" {
+			selected = exp.Runners()
+			break
+		}
+		r, ok := exp.Lookup(a)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", a)
+			os.Exit(2)
+		}
+		selected = append(selected, r)
+	}
+	for _, r := range selected {
+		start := time.Now()
+		fmt.Printf("== %s: %s\n", r.Name, r.Title)
+		if err := r.Run(cfg); err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("== %s done in %s\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,63 @@
+// Command scip-gen generates a synthetic CDN trace for one of the paper's
+// workload profiles and writes it to a file (binary varint format, or CSV
+// with -csv).
+//
+// Usage:
+//
+//	scip-gen -profile CDN-T -scale 0.01 -seed 1 -o cdn-t.trace [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/scip-cache/scip/internal/gen"
+)
+
+func main() {
+	profile := flag.String("profile", "CDN-T", "workload profile: CDN-T, CDN-W or CDN-A")
+	scale := flag.Float64("scale", 0.01, "scale relative to the paper's full trace")
+	seed := flag.Int64("seed", 1, "generation seed")
+	out := flag.String("o", "", "output path (default <profile>.trace)")
+	csv := flag.Bool("csv", false, "write time,key,size CSV instead of binary")
+	flag.Parse()
+
+	p := gen.Profile(*profile)
+	found := false
+	for _, known := range gen.Profiles {
+		if known == p {
+			found = true
+		}
+	}
+	if !found {
+		fmt.Fprintf(os.Stderr, "unknown profile %q (want CDN-T, CDN-W or CDN-A)\n", *profile)
+		os.Exit(2)
+	}
+	tr, err := gen.Generate(p.Config(*scale, *seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	path := *out
+	if path == "" {
+		path = string(p) + ".trace"
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	if *csv {
+		err = tr.WriteCSV(f)
+	} else {
+		err = tr.WriteBinary(f)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Println(tr.ComputeStats().String())
+	fmt.Printf("wrote %s\n", path)
+}

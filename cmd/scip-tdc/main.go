@@ -1,0 +1,48 @@
+// Command scip-tdc runs the TDC production-system simulation (the
+// paper's §5.2 deployment study): a two-layer CDN hierarchy serving a
+// multi-day timeline, with SCIP replacing the layers' LRU insertion
+// policy midway.
+//
+// Usage:
+//
+//	scip-tdc [-days 14] [-deploy-day 7] [-scale 0.01] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/scip-cache/scip/internal/exp"
+	"github.com/scip-cache/scip/internal/tdc"
+)
+
+func main() {
+	days := flag.Int64("days", 14, "simulated days")
+	deployDay := flag.Int64("deploy-day", 7, "day at which SCIP is deployed (-1: never)")
+	scale := flag.Float64("scale", 0.01, "workload scale")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	tr, err := exp.TDCTrace(*scale, *seed, *days)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	deployAt := int64(-1)
+	if *deployDay >= 0 {
+		deployAt = *deployDay * 86_400
+	}
+	cfg := exp.TDCConfig(tr, deployAt, *seed)
+	res := tdc.Run(tr, cfg)
+	fmt.Printf("%-10s %10s %12s %12s %10s\n", "bucket(h)", "requests", "BTO-ratio", "BTO(MB)", "lat(ms)")
+	for i, b := range res.Buckets {
+		marker := ""
+		if i == res.Deployed {
+			marker = "  <-- SCIP deployed"
+		}
+		fmt.Printf("%-10d %10d %12.4f %12.1f %10.1f%s\n",
+			b.StartTime/3600, b.Requests, b.BTORatio(), float64(b.BTOBytes)/(1<<20), b.MeanLatencyMs(), marker)
+	}
+	fmt.Println(res.Summary())
+}

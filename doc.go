@@ -1,0 +1,22 @@
+// Package scip is a Go implementation of SCIP — the Smart Cache Insertion
+// and Promotion policy for content delivery networks (Wang et al., ICPP
+// 2023) — together with the complete experimental apparatus of the paper:
+// a CDN cache simulator, synthetic workload generators calibrated to the
+// paper's three traces, offline ZRO/P-ZRO analytics, Belady's optimal
+// oracle, the eight insertion-policy baselines and nine replacement
+// algorithms SCIP is evaluated against (including lightweight LRB and
+// GL-Cache substrates built from scratch), and a model of the TDC
+// two-layer CDN hierarchy the paper deployed on.
+//
+// # Quick start
+//
+//	tr, _ := scip.GenerateProfile(scip.CDNT, 0.002, 1)   // synthetic CDN-T trace
+//	c := scip.NewCache(512<<20)                           // SCIP-LRU, 512 MiB
+//	res := scip.Replay(tr, c, scip.ReplayOptions{WarmupFrac: 0.2})
+//	fmt.Printf("miss ratio: %.4f\n", res.MissRatio())
+//
+// The facade re-exports the pieces most users need; the full apparatus
+// lives in the internal packages and is exercised end-to-end by the
+// cmd/scip-bench experiment harness, which regenerates every table and
+// figure of the paper.
+package scip

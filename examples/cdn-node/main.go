@@ -1,0 +1,39 @@
+// cdn-node simulates a TDC-style two-layer CDN node (outside cache in
+// front of a data-center cache) serving a multi-day timeline, deploys
+// SCIP halfway through — exactly like the paper's production rollout —
+// and prints the before/after operating point.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/scip-cache/scip/internal/exp"
+	"github.com/scip-cache/scip/internal/tdc"
+)
+
+func main() {
+	const (
+		days      = 8
+		deployDay = 4
+		scale     = 0.005
+	)
+	tr, err := exp.TDCTrace(scale, 11, days)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := exp.TDCConfig(tr, deployDay*86_400, 11)
+	res := tdc.Run(tr, cfg)
+
+	fmt.Printf("two-layer CDN node: OC %d MiB, DC %d MiB, %d requests over %d days\n",
+		cfg.OCCapacity>>20, cfg.DCCapacity>>20, len(tr.Requests), days)
+	fmt.Printf("%-10s %12s %10s\n", "bucket(h)", "BTO-ratio", "lat(ms)")
+	for i, b := range res.Buckets {
+		marker := ""
+		if i == res.Deployed {
+			marker = "  <-- SCIP deployed"
+		}
+		fmt.Printf("%-10d %12.4f %10.1f%s\n", b.StartTime/3600, b.BTORatio(), b.MeanLatencyMs(), marker)
+	}
+	fmt.Println(res.Summary())
+}

@@ -1,0 +1,71 @@
+// concurrent-gateway drives a sharded SCIP cache from many goroutines —
+// the shape of a real CDN edge process (TDC's prototype is a
+// multi-ccd/multi-smcd process model) — and reports throughput scaling
+// and the miss-ratio cost of sharding.
+package main
+
+import (
+	"fmt"
+	"log"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	scip "github.com/scip-cache/scip"
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/shard"
+)
+
+func main() {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.002, 17)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capBytes := int64(64) << 30 / 500
+	reqs := tr.Requests
+
+	// Unsharded reference.
+	ref := scip.Replay(tr, scip.NewCache(capBytes, scip.WithSeed(1)), scip.ReplayOptions{WarmupFrac: 0.2})
+	fmt.Printf("unsharded SCIP miss ratio: %.2f%%\n\n", 100*ref.MissRatio())
+
+	fmt.Printf("%-8s %8s %12s %10s\n", "workers", "shards", "Mreq/s", "missRatio")
+	// Run several worker counts even on few cores: goroutine concurrency
+	// exercises the locking either way; Mreq/s only scales with real CPUs.
+	maxW := runtime.GOMAXPROCS(0) * 2
+	if maxW > 8 {
+		maxW = 8
+	}
+	if maxW < 4 {
+		maxW = 4
+	}
+	for workers := 1; workers <= maxW; workers *= 2 {
+		c, err := shard.New("scip", capBytes, workers*2, func(cb int64, i int) cache.Policy {
+			return core.NewCache(cb, core.WithSeed(int64(i)+1), core.WithInterval(5000))
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		var hits atomic.Int64
+		per := len(reqs) / workers
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for _, r := range reqs[w*per : (w+1)*per] {
+					if c.Access(r) {
+						hits.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		secs := time.Since(start).Seconds()
+		total := per * workers
+		fmt.Printf("%-8d %8d %12.2f %9.2f%%\n",
+			workers, c.Shards(), float64(total)/secs/1e6, 100*(1-float64(hits.Load())/float64(total)))
+	}
+}

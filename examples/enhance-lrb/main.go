@@ -1,0 +1,42 @@
+// enhance-lrb reproduces the Figure-12 scenario as a program: take two
+// state-of-the-art replacement algorithms (LRU-K and the learned LRB) and
+// plug SCIP in as their insertion/promotion component, then compare the
+// originals with their SCIP-enhanced versions.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	scip "github.com/scip-cache/scip"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/replacement"
+)
+
+func main() {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.002, 5)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capBytes := int64(64) << 30 / 500 // 64 GB at trace scale 1/500
+	opts := scip.ReplayOptions{WarmupFrac: 0.2}
+	newSCIP := func(seed int64) *core.SCIP {
+		return core.New(capBytes, core.WithSeed(seed), core.WithInterval(10_000), core.ForEnhancement())
+	}
+
+	rows := []struct {
+		name string
+		p    scip.Policy
+	}{
+		{"LRU-K", replacement.NewLRUK(capBytes, 1)},
+		{"LRU-K-SCIP", replacement.NewLRUKWithInsertion(capBytes, 1, newSCIP(1))},
+		{"LRB", lrb.New(capBytes, lrb.WithSeed(1))},
+		{"LRB-SCIP", lrb.New(capBytes, lrb.WithSeed(1), lrb.WithInsertion(newSCIP(2)))},
+	}
+	fmt.Printf("workload %s, cache %d MiB\n", tr.Name, capBytes>>20)
+	for _, r := range rows {
+		res := scip.Replay(tr, r.p, opts)
+		fmt.Printf("%-12s miss ratio %6.2f%%\n", r.name, 100*res.MissRatio())
+	}
+}

@@ -1,0 +1,56 @@
+// policy-compare races SCIP against the paper's insertion-policy
+// baselines (Figure 8's cast) on one synthetic workload and prints a
+// ranked table.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	scip "github.com/scip-cache/scip"
+	"github.com/scip-cache/scip/internal/policies"
+)
+
+func main() {
+	tr, err := scip.GenerateProfile(scip.CDNA, 0.002, 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	capBytes := int64(64) << 30 / 500 // 64 GB at trace scale 1/500
+	seed := int64(1)
+
+	contenders := []struct {
+		name  string
+		build func() scip.Policy
+	}{
+		{"SCIP", func() scip.Policy { return scip.NewCache(capBytes, scip.WithSeed(seed)) }},
+		{"LRU", func() scip.Policy { return scip.NewLRU(capBytes) }},
+		{"LIP", func() scip.Policy { return policies.NewCache("LIP", capBytes, policies.LIP{}) }},
+		{"BIP", func() scip.Policy { return policies.NewCache("BIP", capBytes, policies.NewBIP(seed)) }},
+		{"DIP", func() scip.Policy { return policies.NewCache("DIP", capBytes, policies.NewDIP(capBytes, seed)) }},
+		{"PIPP", func() scip.Policy { return policies.NewPIPP(capBytes, seed) }},
+		{"SHiP", func() scip.Policy { return policies.NewCache("SHiP", capBytes, policies.NewSHiP()) }},
+		{"DTA", func() scip.Policy { return policies.NewCache("DTA", capBytes, policies.NewDTA()) }},
+		{"DGIPPR", func() scip.Policy { return policies.NewDGIPPR(capBytes, seed) }},
+		{"DAAIP", func() scip.Policy { return policies.NewCache("DAAIP", capBytes, policies.NewDAAIP(seed)) }},
+		{"ASC-IP", func() scip.Policy { return policies.NewCache("ASC-IP", capBytes, policies.NewASCIP(capBytes)) }},
+	}
+
+	type row struct {
+		name string
+		res  scip.ReplayResult
+	}
+	var rows []row
+	for _, c := range contenders {
+		rows = append(rows, row{c.name, scip.Replay(tr, c.build(), scip.ReplayOptions{WarmupFrac: 0.2})})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].res.MissRatio() < rows[j].res.MissRatio() })
+
+	fmt.Printf("workload %s, cache %d MiB\n", tr.Name, capBytes>>20)
+	fmt.Printf("%-8s %10s %10s\n", "policy", "missRatio", "byteMiss")
+	for _, r := range rows {
+		fmt.Printf("%-8s %9.2f%% %9.2f%%\n", r.name, 100*r.res.MissRatio(), 100*r.res.ByteMissRatio())
+	}
+	fmt.Printf("%-8s %9.2f%%  (offline optimal)\n", "Belady", 100*scip.BeladyMissRatio(tr, capBytes))
+}

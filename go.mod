@@ -1,0 +1,3 @@
+module github.com/scip-cache/scip
+
+go 1.22

@@ -1,0 +1,377 @@
+// Package admission implements the cache admission algorithms the paper's
+// related-work section (§7) contrasts insertion policies against: 2Q
+// (Shasha & Johnson), TinyLFU (Einziger et al., as the W-TinyLFU cache),
+// and AdaptSize (Berger et al.). Admission policies decide whether an
+// object enters the cache at all, whereas insertion policies decide where
+// it enters; the `admission` experiment compares both families.
+package admission
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scip-cache/scip/internal/cache"
+)
+
+// ---------------------------------------------------------------------------
+// 2Q
+
+// TwoQ is the 2Q algorithm adapted to byte budgets: newly seen objects
+// enter the FIFO probation queue A1in; on eviction from A1in their keys
+// are remembered in the ghost queue A1out; a miss that hits A1out admits
+// the object into the long-term LRU queue Am. Only objects referenced
+// again after leaving probation occupy long-term space.
+type TwoQ struct {
+	// KinFrac is A1in's share of capacity (default 0.25).
+	KinFrac float64
+	// KoutFrac sizes the A1out ghost as a fraction of capacity
+	// (default 0.5).
+	KoutFrac float64
+
+	name  string
+	cap   int64
+	a1in  cache.Queue
+	am    cache.Queue
+	a1out *cache.History
+	index map[uint64]*cache.Entry
+}
+
+// Entry.Class values for the 2Q queues.
+const (
+	twoQA1in = 0
+	twoQAm   = 1
+)
+
+var _ cache.Policy = (*TwoQ)(nil)
+
+// NewTwoQ returns a 2Q cache.
+func NewTwoQ(capBytes int64) *TwoQ {
+	const kin, kout = 0.25, 0.5
+	return &TwoQ{
+		KinFrac:  kin,
+		KoutFrac: kout,
+		name:     "2Q",
+		cap:      capBytes,
+		a1out:    cache.NewHistory(int64(kout * float64(capBytes))),
+		index:    make(map[uint64]*cache.Entry),
+	}
+}
+
+// Name implements cache.Policy.
+func (q *TwoQ) Name() string { return q.name }
+
+// Capacity implements cache.Policy.
+func (q *TwoQ) Capacity() int64 { return q.cap }
+
+// Used implements cache.Policy.
+func (q *TwoQ) Used() int64 { return q.a1in.Bytes() + q.am.Bytes() }
+
+// Access implements cache.Policy.
+func (q *TwoQ) Access(req cache.Request) bool {
+	if e, ok := q.index[req.Key]; ok {
+		e.Hits++
+		e.LastAccess = req.Time
+		if e.Class == twoQAm {
+			q.am.MoveToFront(e)
+		}
+		// 2Q leaves A1in residents in FIFO order: a burst of correlated
+		// references must not promote.
+		return true
+	}
+	if req.Size > q.cap || req.Size <= 0 {
+		return false
+	}
+	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time}
+	if _, wasOut := q.a1out.Delete(req.Key); wasOut {
+		// Re-referenced after probation: admit to the long-term queue.
+		e.Class = twoQAm
+		q.am.PushFront(e)
+	} else {
+		e.Class = twoQA1in
+		q.a1in.PushFront(e)
+	}
+	q.index[req.Key] = e
+	q.evictToFit()
+	return false
+}
+
+func (q *TwoQ) evictToFit() {
+	// A1in is a fixed-size probation FIFO: overflow spills into the
+	// ghost even while the cache as a whole has room (original 2Q).
+	kin := int64(q.KinFrac * float64(q.cap))
+	for q.a1in.Bytes() > kin {
+		victim := q.a1in.Back()
+		q.a1in.Remove(victim)
+		delete(q.index, victim.Key)
+		q.a1out.Add(victim.Key, victim.Size, cache.ResInserted)
+	}
+	for q.Used() > q.cap {
+		victim := q.am.Back()
+		if victim == nil {
+			victim = q.a1in.Back()
+			q.a1in.Remove(victim)
+			delete(q.index, victim.Key)
+			q.a1out.Add(victim.Key, victim.Size, cache.ResInserted)
+			continue
+		}
+		q.am.Remove(victim)
+		delete(q.index, victim.Key)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// TinyLFU
+
+// sketch is a 4-row count-min sketch with 4-bit conceptual counters
+// (stored as int8, halved periodically — TinyLFU's aging).
+type sketch struct {
+	rows    [4][]int8
+	mask    uint64
+	samples int
+	window  int
+}
+
+func newSketch(counters int) *sketch {
+	size := 1
+	for size < counters {
+		size <<= 1
+	}
+	s := &sketch{mask: uint64(size - 1), window: counters * 8}
+	for i := range s.rows {
+		s.rows[i] = make([]int8, size)
+	}
+	return s
+}
+
+func (s *sketch) idx(row int, key uint64) uint64 {
+	h := key * 0x9E3779B97F4A7C15
+	return (h >> (8 * row)) & s.mask
+}
+
+// Add records one access and ages the sketch when the sample window
+// fills.
+func (s *sketch) Add(key uint64) {
+	for r := range s.rows {
+		i := s.idx(r, key)
+		if s.rows[r][i] < 15 {
+			s.rows[r][i]++
+		}
+	}
+	s.samples++
+	if s.samples >= s.window {
+		s.samples /= 2
+		for r := range s.rows {
+			for i := range s.rows[r] {
+				s.rows[r][i] /= 2
+			}
+		}
+	}
+}
+
+// Estimate returns the minimum counter across rows.
+func (s *sketch) Estimate(key uint64) int {
+	est := 16
+	for r := range s.rows {
+		if v := int(s.rows[r][s.idx(r, key)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// TinyLFU is the W-TinyLFU cache: a small LRU window in front of a main
+// SLRU, with a frequency sketch arbitrating admission from the window
+// into the main region — a candidate only displaces the main victim if
+// the sketch says it is accessed more often.
+type TinyLFU struct {
+	name   string
+	cap    int64
+	window cache.Queue // ~1% of capacity
+	main   cache.Queue // SLRU approximated as one LRU (protection via admission)
+	index  map[uint64]*cache.Entry
+	sk     *sketch
+}
+
+// Entry.Class values for TinyLFU regions.
+const (
+	tlfuWindow = 0
+	tlfuMain   = 1
+)
+
+var _ cache.Policy = (*TinyLFU)(nil)
+
+// NewTinyLFU returns a W-TinyLFU cache.
+func NewTinyLFU(capBytes int64) *TinyLFU {
+	counters := int(capBytes / 4096)
+	if counters < 1024 {
+		counters = 1024
+	}
+	return &TinyLFU{
+		name:  "TinyLFU",
+		cap:   capBytes,
+		index: make(map[uint64]*cache.Entry),
+		sk:    newSketch(counters),
+	}
+}
+
+// Name implements cache.Policy.
+func (t *TinyLFU) Name() string { return t.name }
+
+// Capacity implements cache.Policy.
+func (t *TinyLFU) Capacity() int64 { return t.cap }
+
+// Used implements cache.Policy.
+func (t *TinyLFU) Used() int64 { return t.window.Bytes() + t.main.Bytes() }
+
+func (t *TinyLFU) windowCap() int64 {
+	c := t.cap / 100
+	if c < 4096 {
+		c = 4096
+	}
+	return c
+}
+
+// Access implements cache.Policy.
+func (t *TinyLFU) Access(req cache.Request) bool {
+	t.sk.Add(req.Key)
+	if e, ok := t.index[req.Key]; ok {
+		e.Hits++
+		e.LastAccess = req.Time
+		if e.Class == tlfuWindow {
+			t.window.MoveToFront(e)
+		} else {
+			t.main.MoveToFront(e)
+		}
+		return true
+	}
+	if req.Size > t.cap || req.Size <= 0 {
+		return false
+	}
+	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: tlfuWindow}
+	t.window.PushFront(e)
+	t.index[req.Key] = e
+	// Window overflow: candidates graduate to main through the filter.
+	for t.window.Bytes() > t.windowCap() {
+		cand := t.window.Back()
+		t.window.Remove(cand)
+		t.admit(cand)
+	}
+	for t.Used() > t.cap {
+		victim := t.main.Back()
+		if victim == nil {
+			victim = t.window.Back()
+			t.window.Remove(victim)
+		} else {
+			t.main.Remove(victim)
+		}
+		delete(t.index, victim.Key)
+	}
+	return false
+}
+
+// admit moves a window candidate into main if the sketch favours it over
+// the main victim; otherwise the candidate is dropped.
+func (t *TinyLFU) admit(cand *cache.Entry) {
+	for t.main.Bytes()+cand.Size > t.cap-t.windowCap() && t.main.Len() > 0 {
+		victim := t.main.Back()
+		if t.sk.Estimate(cand.Key) <= t.sk.Estimate(victim.Key) {
+			// Candidate loses the duel: drop it.
+			delete(t.index, cand.Key)
+			return
+		}
+		t.main.Remove(victim)
+		delete(t.index, victim.Key)
+	}
+	cand.Class = tlfuMain
+	t.main.PushFront(cand)
+}
+
+// ---------------------------------------------------------------------------
+// AdaptSize
+
+// AdaptSize admits a missing object with probability e^{−size/c} and
+// tunes the size parameter c to maximise the hit rate. The original
+// derives the optimal c from a Markov model over a request window; this
+// implementation hill-climbs c on the measured interval hit rate (the
+// same controller style as SCIP's λ), which the AdaptSize paper reports
+// as the natural greedy alternative.
+type AdaptSize struct {
+	// Interval is the tuning window in requests (default 1<<15).
+	Interval int
+
+	name     string
+	inner    *cache.QueueCache
+	rng      *rand.Rand
+	c        float64
+	dir      float64
+	reqs     int
+	hits     int
+	prevRate float64
+}
+
+var _ cache.Policy = (*AdaptSize)(nil)
+
+// NewAdaptSize returns an AdaptSize-filtered LRU cache.
+func NewAdaptSize(capBytes int64, seed int64) *AdaptSize {
+	return &AdaptSize{
+		Interval: 1 << 15,
+		name:     "AdaptSize",
+		inner:    cache.NewLRU(capBytes),
+		rng:      rand.New(rand.NewSource(seed + 1009)),
+		c:        float64(capBytes) / 100,
+		dir:      1.5,
+	}
+}
+
+// Name implements cache.Policy.
+func (a *AdaptSize) Name() string { return a.name }
+
+// Capacity implements cache.Policy.
+func (a *AdaptSize) Capacity() int64 { return a.inner.Capacity() }
+
+// Used implements cache.Policy.
+func (a *AdaptSize) Used() int64 { return a.inner.Used() }
+
+// C exposes the admission size parameter for tests.
+func (a *AdaptSize) C() float64 { return a.c }
+
+// Access implements cache.Policy.
+func (a *AdaptSize) Access(req cache.Request) bool {
+	a.reqs++
+	if a.reqs%a.Interval == 0 {
+		a.tune()
+	}
+	if a.inner.Contains(req.Key) {
+		a.hits++
+		a.inner.Access(req)
+		return true
+	}
+	// Admission filter: large objects are admitted with exponentially
+	// decreasing probability.
+	if math.Exp(-float64(req.Size)/a.c) >= a.rng.Float64() {
+		a.inner.Access(req)
+	}
+	return false
+}
+
+// tune hill-climbs c on the interval hit rate.
+func (a *AdaptSize) tune() {
+	rate := float64(a.hits) / float64(a.Interval)
+	a.hits = 0
+	if rate < a.prevRate {
+		// Last move hurt: reverse direction.
+		a.dir = 1 / a.dir
+	}
+	a.prevRate = rate
+	a.c *= a.dir
+	lo := 1024.0
+	hi := float64(a.inner.Capacity())
+	if a.c < lo {
+		a.c = lo
+		a.dir = 1.5
+	}
+	if a.c > hi {
+		a.c = hi
+		a.dir = 1 / 1.5
+	}
+}

@@ -1,0 +1,155 @@
+// Package belady implements Belady's MIN algorithm adapted to
+// variable-sized objects: on every eviction the cached object whose next
+// request lies furthest in the future is removed (repeatedly, until the
+// incoming object fits). It needs the whole trace in advance and serves
+// as the unreachable lower bound in Figures 8 and 10, as well as the
+// boundary oracle LRB's training labels are defined against.
+package belady
+
+import (
+	"container/heap"
+	"math"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+// infinity is the next-use distance of objects never requested again.
+const infinity = math.MaxInt64
+
+type bentry struct {
+	key     uint64
+	size    int64
+	nextUse int64
+	heapIdx int
+}
+
+// maxHeap orders entries by descending next use.
+type maxHeap []*bentry
+
+func (h maxHeap) Len() int           { return len(h) }
+func (h maxHeap) Less(i, j int) bool { return h[i].nextUse > h[j].nextUse }
+func (h maxHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].heapIdx = i; h[j].heapIdx = j }
+func (h *maxHeap) Push(x any)        { e := x.(*bentry); e.heapIdx = len(*h); *h = append(*h, e) }
+func (h *maxHeap) Pop() any          { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+
+// Cache replays exactly the trace it was built from.
+type Cache struct {
+	name  string
+	cap   int64
+	bytes int64
+	next  []int
+	i     int
+	index map[uint64]*bentry
+	h     maxHeap
+
+	evictedDistances int64
+	evictions        int64
+}
+
+var _ cache.Policy = (*Cache)(nil)
+
+// New builds a Belady cache for tr. The returned policy must be driven
+// with tr's requests in order.
+func New(tr *trace.Trace, capBytes int64) *Cache {
+	next := make([]int, len(tr.Requests))
+	last := make(map[uint64]int, 1<<12)
+	for i := len(tr.Requests) - 1; i >= 0; i-- {
+		k := tr.Requests[i].Key
+		if j, ok := last[k]; ok {
+			next[i] = j
+		} else {
+			next[i] = -1
+		}
+		last[k] = i
+	}
+	return &Cache{
+		name:  "Belady",
+		cap:   capBytes,
+		next:  next,
+		index: make(map[uint64]*bentry, 1<<12),
+	}
+}
+
+// Name implements cache.Policy.
+func (c *Cache) Name() string { return c.name }
+
+// Capacity implements cache.Policy.
+func (c *Cache) Capacity() int64 { return c.cap }
+
+// Used implements cache.Policy.
+func (c *Cache) Used() int64 { return c.bytes }
+
+// nextUseAt converts the precomputed next index into a heap key.
+func (c *Cache) nextUseAt(i int) int64 {
+	if c.next[i] < 0 {
+		return infinity
+	}
+	return int64(c.next[i])
+}
+
+// Access implements cache.Policy; requests must arrive in trace order.
+func (c *Cache) Access(req cache.Request) bool {
+	i := c.i
+	c.i++
+	if e, ok := c.index[req.Key]; ok {
+		e.nextUse = c.nextUseAt(i)
+		heap.Fix(&c.h, e.heapIdx)
+		return true
+	}
+	if req.Size > c.cap || req.Size <= 0 {
+		return false
+	}
+	nu := c.nextUseAt(i)
+	if nu == infinity {
+		// MIN never caches an object with no future use.
+		return false
+	}
+	for c.bytes+req.Size > c.cap {
+		victim := c.h[0]
+		// Optimisation from the MIN construction: if the incoming
+		// object's reuse is further away than the furthest cached
+		// object's, caching it cannot help — bypass instead of evicting.
+		if victim.nextUse <= nu {
+			return false
+		}
+		heap.Pop(&c.h)
+		delete(c.index, victim.key)
+		c.bytes -= victim.size
+		if victim.nextUse != infinity {
+			c.evictedDistances += victim.nextUse - int64(i)
+			c.evictions++
+		}
+	}
+	e := &bentry{key: req.Key, size: req.Size, nextUse: nu}
+	heap.Push(&c.h, e)
+	c.index[req.Key] = e
+	c.bytes += req.Size
+	return false
+}
+
+// BoundaryEstimate returns the mean forward distance of Belady's evicted
+// (finite-distance) victims — the "Belady boundary" LRB relaxes: objects
+// whose next use lies beyond it are safe eviction candidates.
+func (c *Cache) BoundaryEstimate() int64 {
+	if c.evictions == 0 {
+		return int64(len(c.next))
+	}
+	return c.evictedDistances / c.evictions
+}
+
+// MissRatio replays tr through a fresh Belady cache and returns the miss
+// ratio (convenience for the experiment harness).
+func MissRatio(tr *trace.Trace, capBytes int64) float64 {
+	c := New(tr, capBytes)
+	misses := 0
+	for _, r := range tr.Requests {
+		if !c.Access(r) {
+			misses++
+		}
+	}
+	if len(tr.Requests) == 0 {
+		return 0
+	}
+	return float64(misses) / float64(len(tr.Requests))
+}

@@ -1,0 +1,74 @@
+package cache
+
+// History is a FIFO shadow list storing metadata (key and size only) of
+// evicted objects, as used by SCIP's H_m and H_l and by several baselines'
+// ghost caches. New entries enter at the MRU end; when the byte budget is
+// exceeded the oldest entries are dropped from the LRU end (Algorithm 1,
+// ADD). Lookup, insert and delete are O(1).
+type History struct {
+	q     Queue
+	index map[uint64]*Entry
+	cap   int64
+}
+
+// NewHistory returns a history list with the given byte capacity. A zero or
+// negative capacity yields a list that stores nothing.
+func NewHistory(capBytes int64) *History {
+	return &History{index: make(map[uint64]*Entry), cap: capBytes}
+}
+
+// Capacity returns the byte budget.
+func (h *History) Capacity() int64 { return h.cap }
+
+// Bytes returns the bytes of metadata-tracked objects currently recorded.
+func (h *History) Bytes() int64 { return h.q.Bytes() }
+
+// Len returns the number of recorded objects.
+func (h *History) Len() int { return h.q.Len() }
+
+// Contains reports whether key is recorded.
+func (h *History) Contains(key uint64) bool {
+	_, ok := h.index[key]
+	return ok
+}
+
+// Add records an evicted object, evicting the oldest records as needed to
+// respect the byte budget. If the key is already present its record is
+// refreshed (moved to the MRU end with the new size). res records how the
+// evicted residency began, so a later lookup can attribute the evidence to
+// the right learning context.
+func (h *History) Add(key uint64, size int64, res Residency) {
+	if h.cap <= 0 || size > h.cap {
+		return
+	}
+	if e, ok := h.index[key]; ok {
+		h.q.Remove(e)
+		delete(h.index, key)
+	}
+	for h.q.Bytes()+size > h.cap {
+		old := h.q.Back()
+		h.q.Remove(old)
+		delete(h.index, old.Key)
+	}
+	e := &Entry{Key: key, Size: size, Residency: res}
+	h.q.PushFront(e)
+	h.index[key] = e
+}
+
+// Delete removes all information about key (Algorithm 1, DELETE),
+// reporting whether it was present and how the recorded residency began.
+func (h *History) Delete(key uint64) (res Residency, ok bool) {
+	e, found := h.index[key]
+	if !found {
+		return ResInserted, false
+	}
+	h.q.Remove(e)
+	delete(h.index, key)
+	return e.Residency, true
+}
+
+// Reset empties the list.
+func (h *History) Reset() {
+	h.q = Queue{}
+	clear(h.index)
+}

@@ -1,0 +1,118 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHistoryAddContainsDelete(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 40, ResInserted)
+	h.Add(2, 40, ResInserted)
+	if !h.Contains(1) || !h.Contains(2) {
+		t.Fatal("added keys missing")
+	}
+	if h.Bytes() != 80 || h.Len() != 2 {
+		t.Fatalf("Bytes=%d Len=%d, want 80,2", h.Bytes(), h.Len())
+	}
+	if _, ok := h.Delete(1); !ok {
+		t.Fatal("Delete(1) = false")
+	}
+	if _, ok := h.Delete(1); ok {
+		t.Fatal("second Delete(1) = true")
+	}
+	if h.Contains(1) {
+		t.Fatal("deleted key still present")
+	}
+}
+
+func TestHistoryFIFOEviction(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 40, ResInserted)
+	h.Add(2, 40, ResInserted)
+	h.Add(3, 40, ResInserted) // must evict 1 (oldest)
+	if h.Contains(1) {
+		t.Fatal("oldest record not evicted")
+	}
+	if !h.Contains(2) || !h.Contains(3) {
+		t.Fatal("newer records lost")
+	}
+	if h.Bytes() != 80 {
+		t.Fatalf("Bytes=%d, want 80", h.Bytes())
+	}
+}
+
+func TestHistoryRefreshMovesToFront(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 40, ResInserted)
+	h.Add(2, 40, ResInserted)
+	h.Add(1, 40, ResInserted) // refresh: 1 becomes newest
+	h.Add(3, 40, ResInserted) // evicts 2, the now-oldest
+	if h.Contains(2) {
+		t.Fatal("refreshed ordering ignored: 2 should have been evicted")
+	}
+	if !h.Contains(1) || !h.Contains(3) {
+		t.Fatal("expected keys missing")
+	}
+}
+
+func TestHistoryOversizedAndZeroCap(t *testing.T) {
+	h := NewHistory(50)
+	h.Add(1, 60, ResInserted) // larger than capacity: ignored
+	if h.Contains(1) || h.Len() != 0 {
+		t.Fatal("oversized record stored")
+	}
+	z := NewHistory(0)
+	z.Add(1, 1, ResInserted)
+	if z.Len() != 0 {
+		t.Fatal("zero-capacity history stored a record")
+	}
+}
+
+func TestHistoryResizeOnRefresh(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 10, ResInserted)
+	h.Add(1, 90, ResInserted)
+	if h.Bytes() != 90 {
+		t.Fatalf("Bytes=%d, want 90 after size refresh", h.Bytes())
+	}
+}
+
+func TestHistoryReset(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 10, ResInserted)
+	h.Reset()
+	if h.Len() != 0 || h.Bytes() != 0 || h.Contains(1) {
+		t.Fatal("Reset did not clear history")
+	}
+	h.Add(2, 10, ResInserted)
+	if !h.Contains(2) {
+		t.Fatal("history unusable after Reset")
+	}
+}
+
+func TestHistoryNeverExceedsCapacity(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	h := NewHistory(1000)
+	for i := 0; i < 10000; i++ {
+		h.Add(uint64(rng.Intn(300)), int64(rng.Intn(200)+1), Residency(rng.Intn(3)))
+		if h.Bytes() > 1000 {
+			t.Fatalf("capacity exceeded: %d", h.Bytes())
+		}
+		if h.Len() > 0 && h.Bytes() <= 0 {
+			t.Fatal("byte accounting broken")
+		}
+	}
+}
+
+func TestHistoryResidencyRoundTrip(t *testing.T) {
+	h := NewHistory(1000)
+	h.Add(1, 10, ResFirstHit)
+	h.Add(2, 10, ResRepeat)
+	if res, ok := h.Delete(1); !ok || res != ResFirstHit {
+		t.Fatalf("Delete(1) = %v,%v", res, ok)
+	}
+	if res, ok := h.Delete(2); !ok || res != ResRepeat {
+		t.Fatalf("Delete(2) = %v,%v", res, ok)
+	}
+}

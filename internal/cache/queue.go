@@ -1,0 +1,194 @@
+package cache
+
+// Entry is one cached object inside a Queue. Entries are intrusive list
+// nodes owned by exactly one Queue at a time. The exported bookkeeping
+// fields (Hits, Freq, ...) are shared scratch space for policies so that a
+// single allocation serves LRU-family algorithms without per-policy
+// wrapper nodes.
+type Entry struct {
+	Key  uint64
+	Size int64
+
+	prev, next *Entry
+	owner      *Queue
+
+	// InsertedMRU records whether the entry last entered the queue at
+	// the MRU position (SCIP's insert_pos flag).
+	InsertedMRU bool
+	// Residency records how the entry's current residency began.
+	Residency Residency
+	// Hits counts hits during the current residency.
+	Hits int
+	// InsertTime is the request time at which the entry entered the
+	// cache for the current residency.
+	InsertTime int64
+	// LastAccess is the request time of the most recent access.
+	LastAccess int64
+	// Freq is a generic frequency counter for frequency-aware policies.
+	Freq int
+	// Score is a generic priority used by GDSF and similar policies.
+	Score float64
+	// Class is a generic small-integer classification slot (size class,
+	// segment number, ...).
+	Class int
+}
+
+// InQueue reports whether the entry is currently linked into a queue.
+func (e *Entry) InQueue() bool { return e.owner != nil }
+
+// Queue is an intrusive doubly-linked list with byte accounting. The front
+// is the MRU end, the back is the LRU end. All operations are O(1).
+//
+// The zero value is ready to use.
+type Queue struct {
+	head, tail *Entry
+	n          int
+	bytes      int64
+}
+
+// Len returns the number of entries.
+func (q *Queue) Len() int { return q.n }
+
+// Bytes returns the sum of entry sizes.
+func (q *Queue) Bytes() int64 { return q.bytes }
+
+// Front returns the MRU entry, or nil when empty.
+func (q *Queue) Front() *Entry { return q.head }
+
+// Back returns the LRU entry, or nil when empty.
+func (q *Queue) Back() *Entry { return q.tail }
+
+// PushFront inserts e at the MRU end. e must not belong to any queue.
+func (q *Queue) PushFront(e *Entry) {
+	if e.owner != nil {
+		panic("cache: PushFront of entry already in a queue")
+	}
+	e.owner = q
+	e.prev = nil
+	e.next = q.head
+	if q.head != nil {
+		q.head.prev = e
+	} else {
+		q.tail = e
+	}
+	q.head = e
+	q.n++
+	q.bytes += e.Size
+}
+
+// PushBack inserts e at the LRU end. e must not belong to any queue.
+func (q *Queue) PushBack(e *Entry) {
+	if e.owner != nil {
+		panic("cache: PushBack of entry already in a queue")
+	}
+	e.owner = q
+	e.next = nil
+	e.prev = q.tail
+	if q.tail != nil {
+		q.tail.next = e
+	} else {
+		q.head = e
+	}
+	q.tail = e
+	q.n++
+	q.bytes += e.Size
+}
+
+// InsertBefore inserts e immediately MRU-ward of mark. mark must belong to
+// q and e must be detached.
+func (q *Queue) InsertBefore(e, mark *Entry) {
+	if mark.owner != q {
+		panic("cache: InsertBefore mark not in queue")
+	}
+	if e.owner != nil {
+		panic("cache: InsertBefore of entry already in a queue")
+	}
+	e.owner = q
+	e.next = mark
+	e.prev = mark.prev
+	if mark.prev != nil {
+		mark.prev.next = e
+	} else {
+		q.head = e
+	}
+	mark.prev = e
+	q.n++
+	q.bytes += e.Size
+}
+
+// InsertAfter inserts e immediately LRU-ward of mark. mark must belong to
+// q and e must be detached.
+func (q *Queue) InsertAfter(e, mark *Entry) {
+	if mark.owner != q {
+		panic("cache: InsertAfter mark not in queue")
+	}
+	if e.owner != nil {
+		panic("cache: InsertAfter of entry already in a queue")
+	}
+	e.owner = q
+	e.prev = mark
+	e.next = mark.next
+	if mark.next != nil {
+		mark.next.prev = e
+	} else {
+		q.tail = e
+	}
+	mark.next = e
+	q.n++
+	q.bytes += e.Size
+}
+
+// Remove unlinks e from the queue. e must belong to q.
+func (q *Queue) Remove(e *Entry) {
+	if e.owner != q {
+		panic("cache: Remove of entry not in this queue")
+	}
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		q.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev, e.next, e.owner = nil, nil, nil
+	q.n--
+	q.bytes -= e.Size
+}
+
+// MoveToFront moves an entry already in the queue to the MRU end.
+func (q *Queue) MoveToFront(e *Entry) {
+	if q.head == e {
+		return
+	}
+	q.Remove(e)
+	q.PushFront(e)
+}
+
+// MoveToBack moves an entry already in the queue to the LRU end.
+func (q *Queue) MoveToBack(e *Entry) {
+	if q.tail == e {
+		return
+	}
+	q.Remove(e)
+	q.PushBack(e)
+}
+
+// MoveTowardFront moves e one position toward the MRU end (PIPP-style
+// single-step promotion). No-op if e is already at the front.
+func (q *Queue) MoveTowardFront(e *Entry) {
+	p := e.prev
+	if p == nil {
+		return
+	}
+	q.Remove(e)
+	q.InsertBefore(e, p)
+}
+
+// Next returns the entry LRU-ward of e (toward the back), or nil.
+func (e *Entry) Next() *Entry { return e.next }
+
+// Prev returns the entry MRU-ward of e (toward the front), or nil.
+func (e *Entry) Prev() *Entry { return e.prev }

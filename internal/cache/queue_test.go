@@ -1,0 +1,285 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func keysFrontToBack(q *Queue) []uint64 {
+	var out []uint64
+	for e := q.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func keysBackToFront(q *Queue) []uint64 {
+	var out []uint64
+	for e := q.Back(); e != nil; e = e.Prev() {
+		out = append(out, e.Key)
+	}
+	return out
+}
+
+func TestQueuePushFrontOrder(t *testing.T) {
+	var q Queue
+	for i := uint64(1); i <= 3; i++ {
+		q.PushFront(&Entry{Key: i, Size: 1})
+	}
+	got := keysFrontToBack(&q)
+	want := []uint64{3, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Len() != 3 || q.Bytes() != 3 {
+		t.Fatalf("Len=%d Bytes=%d, want 3,3", q.Len(), q.Bytes())
+	}
+}
+
+func TestQueuePushBackOrder(t *testing.T) {
+	var q Queue
+	for i := uint64(1); i <= 3; i++ {
+		q.PushBack(&Entry{Key: i, Size: 2})
+	}
+	got := keysFrontToBack(&q)
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if q.Bytes() != 6 {
+		t.Fatalf("Bytes=%d, want 6", q.Bytes())
+	}
+}
+
+func TestQueueRemoveMiddle(t *testing.T) {
+	var q Queue
+	es := make([]*Entry, 5)
+	for i := range es {
+		es[i] = &Entry{Key: uint64(i), Size: 1}
+		q.PushBack(es[i])
+	}
+	q.Remove(es[2])
+	if es[2].InQueue() {
+		t.Fatal("removed entry still reports InQueue")
+	}
+	got := keysFrontToBack(&q)
+	want := []uint64{0, 1, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	back := keysBackToFront(&q)
+	for i := range want {
+		if back[len(back)-1-i] != want[i] {
+			t.Fatalf("reverse order broken: %v", back)
+		}
+	}
+}
+
+func TestQueueRemoveEnds(t *testing.T) {
+	var q Queue
+	a := &Entry{Key: 1, Size: 1}
+	b := &Entry{Key: 2, Size: 1}
+	q.PushBack(a)
+	q.PushBack(b)
+	q.Remove(a)
+	if q.Front() != b || q.Back() != b {
+		t.Fatal("removing head broke ends")
+	}
+	q.Remove(b)
+	if q.Front() != nil || q.Back() != nil || q.Len() != 0 || q.Bytes() != 0 {
+		t.Fatal("queue not empty after removing all")
+	}
+}
+
+func TestQueueMoveToFrontAndBack(t *testing.T) {
+	var q Queue
+	es := make([]*Entry, 3)
+	for i := range es {
+		es[i] = &Entry{Key: uint64(i), Size: 1}
+		q.PushBack(es[i])
+	}
+	q.MoveToFront(es[2])
+	if q.Front().Key != 2 {
+		t.Fatalf("front = %d, want 2", q.Front().Key)
+	}
+	q.MoveToBack(es[2])
+	if q.Back().Key != 2 {
+		t.Fatalf("back = %d, want 2", q.Back().Key)
+	}
+	// Moving the element already at the target end is a no-op.
+	q.MoveToBack(q.Back())
+	q.MoveToFront(q.Front())
+	if q.Len() != 3 {
+		t.Fatalf("Len=%d, want 3", q.Len())
+	}
+}
+
+func TestQueueMoveTowardFront(t *testing.T) {
+	var q Queue
+	es := make([]*Entry, 3)
+	for i := range es {
+		es[i] = &Entry{Key: uint64(i), Size: 1}
+		q.PushBack(es[i])
+	}
+	q.MoveTowardFront(es[2]) // 0,1,2 -> 0,2,1
+	got := keysFrontToBack(&q)
+	want := []uint64{0, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	q.MoveTowardFront(es[2]) // -> 2,0,1
+	q.MoveTowardFront(es[2]) // already front: no-op
+	if q.Front().Key != 2 {
+		t.Fatalf("front = %d, want 2", q.Front().Key)
+	}
+}
+
+func TestQueueInsertBeforeAfter(t *testing.T) {
+	var q Queue
+	a := &Entry{Key: 1, Size: 1}
+	c := &Entry{Key: 3, Size: 1}
+	q.PushBack(a)
+	q.PushBack(c)
+	b := &Entry{Key: 2, Size: 1}
+	q.InsertBefore(b, c)
+	got := keysFrontToBack(&q)
+	want := []uint64{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	d := &Entry{Key: 4, Size: 1}
+	q.InsertAfter(d, c)
+	if q.Back() != d {
+		t.Fatal("InsertAfter tail entry did not become back")
+	}
+	e := &Entry{Key: 0, Size: 1}
+	q.InsertBefore(e, a)
+	if q.Front() != e {
+		t.Fatal("InsertBefore head entry did not become front")
+	}
+}
+
+func TestQueuePanicsOnMisuse(t *testing.T) {
+	var q, q2 Queue
+	e := &Entry{Key: 1, Size: 1}
+	q.PushBack(e)
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("double PushBack", func() { q.PushBack(e) })
+	mustPanic("double PushFront", func() { q.PushFront(e) })
+	mustPanic("Remove from wrong queue", func() { q2.Remove(e) })
+	mustPanic("evict empty", func() { NewLRU(10).evictOne() })
+}
+
+// TestQueueRandomOpsInvariant drives random operations and checks the
+// byte/length invariants and bidirectional consistency after each step.
+func TestQueueRandomOpsInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var q Queue
+	live := map[uint64]*Entry{}
+	var wantBytes int64
+	next := uint64(0)
+	for step := 0; step < 5000; step++ {
+		switch op := rng.Intn(4); {
+		case op == 0 || len(live) == 0:
+			e := &Entry{Key: next, Size: int64(rng.Intn(100) + 1)}
+			next++
+			if rng.Intn(2) == 0 {
+				q.PushFront(e)
+			} else {
+				q.PushBack(e)
+			}
+			live[e.Key] = e
+			wantBytes += e.Size
+		case op == 1:
+			for _, e := range live {
+				q.Remove(e)
+				delete(live, e.Key)
+				wantBytes -= e.Size
+				break
+			}
+		case op == 2:
+			for _, e := range live {
+				q.MoveToFront(e)
+				break
+			}
+		default:
+			for _, e := range live {
+				q.MoveTowardFront(e)
+				break
+			}
+		}
+		if q.Len() != len(live) {
+			t.Fatalf("step %d: Len=%d want %d", step, q.Len(), len(live))
+		}
+		if q.Bytes() != wantBytes {
+			t.Fatalf("step %d: Bytes=%d want %d", step, q.Bytes(), wantBytes)
+		}
+	}
+	fw := keysFrontToBack(&q)
+	bw := keysBackToFront(&q)
+	if len(fw) != len(bw) {
+		t.Fatalf("asymmetric traversal: %d vs %d", len(fw), len(bw))
+	}
+	for i := range fw {
+		if fw[i] != bw[len(bw)-1-i] {
+			t.Fatal("forward and backward traversals disagree")
+		}
+	}
+}
+
+// Property: for any sequence of front/back pushes, the concatenation of
+// reversed-front-pushes and back-pushes equals the queue order.
+func TestQueueOrderProperty(t *testing.T) {
+	f := func(ops []bool) bool {
+		var q Queue
+		var fronts, backs []uint64
+		for i, front := range ops {
+			k := uint64(i)
+			e := &Entry{Key: k, Size: 1}
+			if front {
+				q.PushFront(e)
+				fronts = append(fronts, k)
+			} else {
+				q.PushBack(e)
+				backs = append(backs, k)
+			}
+		}
+		want := make([]uint64, 0, len(ops))
+		for i := len(fronts) - 1; i >= 0; i-- {
+			want = append(want, fronts[i])
+		}
+		want = append(want, backs...)
+		got := keysFrontToBack(&q)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

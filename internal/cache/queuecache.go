@@ -1,0 +1,177 @@
+package cache
+
+// QueueCache is a byte-capacity cache with a single LRU-ordered queue and a
+// pluggable insertion/promotion policy. The victim selection policy is
+// LRU: evictions always take the entry at the LRU end. With a nil
+// insertion policy it behaves as plain LRU (insert at MRU, promote to
+// MRU), which is the configuration the paper calls "LRU". With an
+// InsertionPolicy such as SCIP it becomes the paper's SCIP-LRU.
+type QueueCache struct {
+	name  string
+	cap   int64
+	q     Queue
+	index map[uint64]*Entry
+	ins   InsertionPolicy
+
+	// EvictHook, when non-nil, observes every eviction (used by the ZRO
+	// analyzer and tests).
+	EvictHook func(e *Entry)
+}
+
+// NewQueueCache returns a cache of capBytes capacity driven by ins. A nil
+// ins yields plain LRU. name is used in experiment tables; if empty it is
+// derived from the insertion policy.
+func NewQueueCache(name string, capBytes int64, ins InsertionPolicy) *QueueCache {
+	if name == "" {
+		if ins != nil {
+			name = ins.Name() + "-LRU"
+		} else {
+			name = "LRU"
+		}
+	}
+	return &QueueCache{
+		name:  name,
+		cap:   capBytes,
+		index: make(map[uint64]*Entry),
+		ins:   ins,
+	}
+}
+
+// NewLRU returns a plain LRU cache.
+func NewLRU(capBytes int64) *QueueCache { return NewQueueCache("LRU", capBytes, nil) }
+
+// Name implements Policy.
+func (c *QueueCache) Name() string { return c.name }
+
+// Capacity implements Policy.
+func (c *QueueCache) Capacity() int64 { return c.cap }
+
+// Used implements Policy.
+func (c *QueueCache) Used() int64 { return c.q.Bytes() }
+
+// Len returns the number of cached objects.
+func (c *QueueCache) Len() int { return c.q.Len() }
+
+// Contains reports whether key is cached without touching recency state.
+func (c *QueueCache) Contains(key uint64) bool {
+	_, ok := c.index[key]
+	return ok
+}
+
+// Entry returns the live entry for key, or nil. Callers must not relink it.
+func (c *QueueCache) Entry(key uint64) *Entry { return c.index[key] }
+
+// Queue exposes the underlying queue for analyzers; callers must treat it
+// as read-only.
+func (c *QueueCache) Queue() *Queue { return &c.q }
+
+// SetInsertion hot-swaps the insertion/promotion policy, as the paper's
+// TDC deployment did ("we have merely replaced LRU's insertion policy
+// with SCIP"). Resident entries keep their marks; nil restores plain LRU.
+func (c *QueueCache) SetInsertion(ins InsertionPolicy) { c.ins = ins }
+
+// Access implements Policy.
+func (c *QueueCache) Access(req Request) bool {
+	e, hit := c.index[req.Key]
+	if c.ins != nil {
+		c.ins.OnAccess(req, hit)
+	}
+	if hit {
+		e.Hits++
+		e.Freq++
+		e.LastAccess = req.Time
+		if obs, ok := c.ins.(ResidencyObserver); ok {
+			obs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits)
+		}
+		c.promote(e, req)
+		return true
+	}
+	if req.Size > c.cap || req.Size <= 0 {
+		return false // object cannot fit: bypass
+	}
+	c.insert(req)
+	return false
+}
+
+// promote re-positions a hit entry. Plain LRU moves it to the MRU end;
+// with an insertion policy the promotion is treated as a special insertion
+// (Algorithm 1, PROMOTE): the entry is removed (without touching the
+// history lists) and re-inserted at the chosen position.
+func (c *QueueCache) promote(e *Entry, req Request) {
+	if c.ins == nil {
+		c.q.MoveToFront(e)
+		return
+	}
+	pos := c.ins.ChoosePromote(req)
+	c.q.Remove(e)
+	// The promotion starts a fresh residency: Hits restarts so a later
+	// eviction can report whether the promoted object was ever hit again
+	// (the P-ZRO signal).
+	e.Hits = 0
+	if e.Residency == ResInserted {
+		e.Residency = ResFirstHit
+	} else {
+		e.Residency = ResRepeat
+	}
+	c.place(e, pos)
+}
+
+// insert admits a missing object, evicting from the LRU end as needed.
+func (c *QueueCache) insert(req Request) {
+	for c.q.Bytes()+req.Size > c.cap {
+		c.evictOne()
+	}
+	e := &Entry{
+		Key:        req.Key,
+		Size:       req.Size,
+		InsertTime: req.Time,
+		LastAccess: req.Time,
+		Freq:       1,
+	}
+	pos := MRU
+	if c.ins != nil {
+		pos = c.ins.ChooseInsert(req)
+	}
+	c.place(e, pos)
+	c.index[req.Key] = e
+}
+
+func (c *QueueCache) place(e *Entry, pos Position) {
+	if pos == MRU {
+		e.InsertedMRU = true
+		c.q.PushFront(e)
+	} else {
+		e.InsertedMRU = false
+		c.q.PushBack(e)
+	}
+}
+
+func (c *QueueCache) evictOne() {
+	victim := c.q.Back()
+	if victim == nil {
+		panic("cache: evict from empty queue")
+	}
+	c.q.Remove(victim)
+	delete(c.index, victim.Key)
+	if c.ins != nil {
+		c.ins.OnEvict(EvictInfo{
+			Key:         victim.Key,
+			Size:        victim.Size,
+			InsertedMRU: victim.InsertedMRU,
+			EverHit:     victim.Hits > 0,
+			Residency:   victim.Residency,
+		})
+	}
+	if c.EvictHook != nil {
+		c.EvictHook(victim)
+	}
+}
+
+// Reset implements Resetter.
+func (c *QueueCache) Reset() {
+	c.q = Queue{}
+	clear(c.index)
+	if r, ok := c.ins.(Resetter); ok && c.ins != nil {
+		r.Reset()
+	}
+}

@@ -1,0 +1,107 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/sim"
+)
+
+func init() {
+	register(Runner{Name: "ablation", Title: "Ablations: SCIP design choices (DESIGN.md §6)", Run: runAblations})
+}
+
+// ablationVariant is one SCIP configuration under test.
+type ablationVariant struct {
+	name string
+	opts func(capBytes int64, seed int64, scale float64) []core.Option
+}
+
+func baseOpts(seed int64, scale float64) []core.Option {
+	return []core.Option{core.WithSeed(seed), core.WithInterval(scaledInterval(scale))}
+}
+
+// runAblations measures the miss-ratio impact of each resolved design
+// choice on all three profiles.
+func runAblations(cfg Config) error {
+	variants := []ablationVariant{
+		{"default", func(c, s int64, sc float64) []core.Option { return baseOpts(s, sc) }},
+		{"history=1/4", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithHistoryFraction(0.25))
+		}},
+		{"history=1x", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithHistoryFraction(1.0))
+		}},
+		{"interval=1/4", func(c, s int64, sc float64) []core.Option {
+			return []core.Option{core.WithSeed(s), core.WithInterval(scaledInterval(sc) / 4)}
+		}},
+		{"unified-ω", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithUnifiedModel())
+		}},
+		{"no-duel", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithDueling(0))
+		}},
+		{"no-evict-sig", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithEvictGain(0))
+		}},
+		{"no-hit-sig", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithHitGain(0))
+		}},
+		{"force-none", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithForceMode(core.ForceNone))
+		}},
+		{"force-both", func(c, s int64, sc float64) []core.Option {
+			return append(baseOpts(s, sc), core.WithForceMode(core.ForceBoth))
+		}},
+	}
+	if cfg.Quick {
+		variants = variants[:5]
+	}
+	header(cfg.Out, "# Ablations — SCIP miss ratio by design variant (scale %.4g, 64 GB-eq)", cfg.Scale)
+	fmt.Fprintf(cfg.Out, "%-14s", "variant")
+	for _, p := range gen.Profiles {
+		fmt.Fprintf(cfg.Out, " %10s", p)
+	}
+	fmt.Fprintln(cfg.Out)
+	for _, v := range variants {
+		fmt.Fprintf(cfg.Out, "%-14s", v.name)
+		for _, p := range gen.Profiles {
+			capBytes := p.CacheBytes(gb(64), cfg.Scale)
+			b := policyBuilder{v.name, func(c, s int64, sc float64) cache.Policy {
+				return core.NewCache(c, v.opts(c, s, sc)...)
+			}}
+			mr, err := runMissRatio(cfg, p, capBytes, b)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %10.4f", mr)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	// LRU reference row.
+	fmt.Fprintf(cfg.Out, "%-14s", "LRU(ref)")
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		mr, err := runMissRatio(cfg, p, capBytes, policyBuilder{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, " %10.4f", mr)
+	}
+	fmt.Fprintln(cfg.Out)
+	return nil
+}
+
+// RunSCIPOnce is a helper used by benchmarks: one SCIP replay on a
+// profile at the given cache size.
+func RunSCIPOnce(p gen.Profile, scale float64, seed int64, paperCacheGB int64) (sim.Result, error) {
+	tr, err := getTrace(p, scale, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	capBytes := p.CacheBytes(gb(paperCacheGB), scale)
+	c := core.NewCache(capBytes, core.WithSeed(seed), core.WithInterval(scaledInterval(scale)))
+	return sim.Run(tr, c, sim.Options{WarmupFrac: 0.2}), nil
+}

@@ -1,0 +1,108 @@
+// Package exp is the experiment harness: one runner per table/figure of
+// the paper's evaluation, each regenerating the corresponding rows or
+// series on the synthetic workload profiles. The cmd/scip-bench binary
+// dispatches into this package; the repository-level benchmarks reuse the
+// same runners at reduced scale.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+// Config controls experiment scale and output.
+type Config struct {
+	// Scale scales the paper's trace sizes (1 = full size; the harness
+	// default is 1/100, the benchmarks run 1/500).
+	Scale float64
+	// Seeds are the generation seeds averaged over where noise matters.
+	Seeds []int64
+	// Out receives the experiment's table output.
+	Out io.Writer
+	// Quick trims parameter grids for smoke runs.
+	Quick bool
+}
+
+// DefaultConfig returns the full-run configuration.
+func DefaultConfig(out io.Writer) Config {
+	return Config{Scale: 0.01, Seeds: []int64{1, 2, 3}, Out: out}
+}
+
+// Runner is one experiment.
+type Runner struct {
+	// Name is the dispatch key (e.g. "fig8").
+	Name string
+	// Title describes the paper artefact reproduced.
+	Title string
+	// Run executes the experiment.
+	Run func(cfg Config) error
+}
+
+var registry []Runner
+
+func register(r Runner) { registry = append(registry, r) }
+
+// Runners returns all registered experiments sorted by name.
+func Runners() []Runner {
+	out := append([]Runner(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// traceCache memoises generated traces within one process.
+var traceCache = map[string]*trace.Trace{}
+
+// getTrace returns the memoised synthetic trace for a profile.
+func getTrace(p gen.Profile, scale float64, seed int64) (*trace.Trace, error) {
+	key := fmt.Sprintf("%s/%g/%d", p, scale, seed)
+	if tr, ok := traceCache[key]; ok {
+		return tr, nil
+	}
+	tr, err := gen.Generate(p.Config(scale, seed))
+	if err != nil {
+		return nil, err
+	}
+	traceCache[key] = tr
+	return tr, nil
+}
+
+// ClearTraceCache drops memoised traces (benchmarks call this between
+// scales to bound memory).
+func ClearTraceCache() { traceCache = map[string]*trace.Trace{} }
+
+// paperGB lists the cache sizes of Figures 8's panels.
+var paperGB = []int64{64, 128, 256}
+
+// gb converts gigabytes to bytes.
+func gb(n int64) int64 { return n << 30 }
+
+// header prints a table header line.
+func header(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format+"\n", args...)
+}
+
+// mean averages a float slice.
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,138 @@
+package exp
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/scip-cache/scip/internal/admission"
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/replacement"
+	"github.com/scip-cache/scip/internal/shard"
+)
+
+func init() {
+	register(Runner{Name: "ext", Title: "Extensions: multi-chain SCIP (future work), admission policies, sharded concurrency", Run: runExtensions})
+}
+
+// runExtensions measures the three extensions beyond the paper's
+// evaluation: the future-work multi-chain integration (S4LRU-SCIP), the
+// related-work admission policies (§7), and the scalability of the
+// sharded concurrent front.
+func runExtensions(cfg Config) error {
+	if err := runMultiChain(cfg); err != nil {
+		return err
+	}
+	if err := runAdmission(cfg); err != nil {
+		return err
+	}
+	return runSharded(cfg)
+}
+
+// runMultiChain compares S4LRU against S4LRU-SCIP (the paper's stated
+// future work) on all profiles.
+func runMultiChain(cfg Config) error {
+	header(cfg.Out, "# Extension A — multi-chain SCIP (paper future work), 64 GB-eq (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %10s %12s", "trace", "S4LRU", "S4LRU-SCIP")
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		base, err := runMissRatio(cfg, p, capBytes, policyBuilder{"S4LRU", func(c, s int64, _ float64) cache.Policy {
+			return replacement.NewS4LRU(c)
+		}})
+		if err != nil {
+			return err
+		}
+		enh, err := runMissRatio(cfg, p, capBytes, policyBuilder{"S4LRU-SCIP", func(c, s int64, sc float64) cache.Policy {
+			return replacement.NewS4LRUWithInsertion(c, core.New(c,
+				core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement()))
+		}})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-8s %10.4f %12.4f\n", p, base, enh)
+	}
+	return nil
+}
+
+// runAdmission compares SCIP with the related-work admission family.
+func runAdmission(cfg Config) error {
+	header(cfg.Out, "# Extension B — admission policies (paper §7), 64 GB-eq (scale %.4g)", cfg.Scale)
+	builderSet := []policyBuilder{
+		{"SCIP", func(c, s int64, sc float64) cache.Policy {
+			return core.NewCache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+		}},
+		{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }},
+		{"2Q", func(c, s int64, _ float64) cache.Policy { return admission.NewTwoQ(c) }},
+		{"TinyLFU", func(c, s int64, _ float64) cache.Policy { return admission.NewTinyLFU(c) }},
+		{"AdaptSize", func(c, s int64, _ float64) cache.Policy { return admission.NewAdaptSize(c, s) }},
+	}
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		fmt.Fprintf(cfg.Out, "%-8s", p)
+		for _, b := range builderSet {
+			mr, err := runMissRatio(cfg, p, capBytes, b)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// runSharded measures throughput scaling of the concurrent sharded SCIP
+// front across worker counts.
+func runSharded(cfg Config) error {
+	header(cfg.Out, "# Extension C — sharded concurrent SCIP throughput (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %10s %14s %10s", "workers", "shards", "Mreq/s", "missRatio")
+	tr, err := getTrace(gen.CDNT, cfg.Scale, cfg.Seeds[0])
+	if err != nil {
+		return err
+	}
+	capBytes := gen.CDNT.CacheBytes(gb(64), cfg.Scale)
+	maxWorkers := runtime.GOMAXPROCS(0) * 2
+	if maxWorkers > 8 {
+		maxWorkers = 8
+	}
+	if maxWorkers < 4 {
+		maxWorkers = 4
+	}
+	for workers := 1; workers <= maxWorkers; workers *= 2 {
+		shards := workers * 2
+		c, err := shard.New("scip", capBytes, shards, func(cb int64, i int) cache.Policy {
+			return core.NewCache(cb, core.WithSeed(int64(i)+1), core.WithInterval(scaledInterval(cfg.Scale)))
+		})
+		if err != nil {
+			return err
+		}
+		var hits atomic.Int64
+		reqs := tr.Requests
+		per := len(reqs) / workers
+		start := time.Now()
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				lo := w * per
+				hi := lo + per
+				for _, r := range reqs[lo:hi] {
+					if c.Access(r) {
+						hits.Add(1)
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+		total := per * workers
+		fmt.Fprintf(cfg.Out, "%-8d %10d %14.2f %10.4f\n",
+			workers, c.Shards(), float64(total)/elapsed/1e6, 1-float64(hits.Load())/float64(total))
+	}
+	return nil
+}

@@ -1,0 +1,255 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/scip-cache/scip/internal/belady"
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/policies"
+	"github.com/scip-cache/scip/internal/replacement"
+	"github.com/scip-cache/scip/internal/sim"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+func init() {
+	register(Runner{Name: "fig7", Title: "Figure 7: SCIP vs SCI miss ratios", Run: runFig7})
+	register(Runner{Name: "fig8", Title: "Figure 8: SCIP vs insertion policies (64/128/256 GB)", Run: runFig8})
+	register(Runner{Name: "fig9", Title: "Figure 9: insertion-policy resource usage on CDN-T", Run: runFig9})
+	register(Runner{Name: "fig10", Title: "Figure 10: SCIP vs replacement algorithms", Run: runFig10})
+	register(Runner{Name: "fig11", Title: "Figure 11: replacement-algorithm resource usage on CDN-T", Run: runFig11})
+	register(Runner{Name: "fig12", Title: "Figure 12: enhancing LRU-K and LRB with SCIP / ASC-IP", Run: runFig12})
+}
+
+// scaledInterval shrinks SCIP's learning interval with the trace scale so
+// the number of learning-rate updates per trace matches the full-size
+// configuration.
+func scaledInterval(scale float64) int {
+	iv := int(float64(core.DefaultInterval) * scale * 50)
+	if iv < 1000 {
+		iv = 1000
+	}
+	return iv
+}
+
+// policyBuilder creates a fresh policy for a given capacity and seed.
+type policyBuilder struct {
+	name  string
+	build func(capBytes, seed int64, scale float64) cache.Policy
+}
+
+// insertionBaselines are Figure 8's competitors (all over LRU victim
+// selection).
+func insertionBaselines() []policyBuilder {
+	return []policyBuilder{
+		{"SCIP", func(c, s int64, sc float64) cache.Policy {
+			return core.NewCache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+		}},
+		{"LIP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("LIP", c, policies.LIP{}) }},
+		{"DIP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("DIP", c, policies.NewDIP(c, s)) }},
+		{"PIPP", func(c, s int64, _ float64) cache.Policy { return policies.NewPIPP(c, s) }},
+		{"DTA", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("DTA", c, policies.NewDTA()) }},
+		{"SHiP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("SHiP", c, policies.NewSHiP()) }},
+		{"DGIPPR", func(c, s int64, _ float64) cache.Policy { return policies.NewDGIPPR(c, s) }},
+		{"DAAIP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("DAAIP", c, policies.NewDAAIP(s)) }},
+		{"ASC-IP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("ASC-IP", c, policies.NewASCIP(c)) }},
+	}
+}
+
+// replacementBaselines are Figure 10's competitors.
+func replacementBaselines() []policyBuilder {
+	return []policyBuilder{
+		{"SCIP", func(c, s int64, sc float64) cache.Policy {
+			return core.NewCache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+		}},
+		{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }},
+		{"LRU-K", func(c, s int64, _ float64) cache.Policy { return replacement.NewLRUK(c, s) }},
+		{"S4LRU", func(c, s int64, _ float64) cache.Policy { return replacement.NewS4LRU(c) }},
+		{"SS-LRU", func(c, s int64, _ float64) cache.Policy { return replacement.NewSSLRU(c) }},
+		{"GDSF", func(c, s int64, _ float64) cache.Policy { return replacement.NewGDSF(c) }},
+		{"LHD", func(c, s int64, _ float64) cache.Policy { return replacement.NewLHD(c, s) }},
+		{"CACHEUS", func(c, s int64, _ float64) cache.Policy { return replacement.NewCACHEUS(c, s) }},
+		{"LRB", func(c, s int64, _ float64) cache.Policy { return lrb.New(c, lrb.WithSeed(s)) }},
+		{"GL-Cache", func(c, s int64, _ float64) cache.Policy { return replacement.NewGLCache(c) }},
+	}
+}
+
+// runMissRatio replays each seed's trace and averages the miss ratio.
+func runMissRatio(cfg Config, p gen.Profile, capBytes int64, b policyBuilder) (float64, error) {
+	var mrs []float64
+	for _, seed := range cfg.Seeds {
+		tr, err := getTrace(p, cfg.Scale, seed)
+		if err != nil {
+			return 0, err
+		}
+		res := sim.Run(tr, b.build(capBytes, seed, cfg.Scale), sim.Options{WarmupFrac: 0.2})
+		mrs = append(mrs, res.MissRatio())
+	}
+	return mean(mrs), nil
+}
+
+// beladyMR computes Belady's miss ratio over the post-warmup region.
+func beladyMR(tr *trace.Trace, capBytes int64) float64 {
+	c := belady.New(tr, capBytes)
+	warm := int(0.2 * float64(len(tr.Requests)))
+	hits, total := 0, 0
+	for i, r := range tr.Requests {
+		h := c.Access(r)
+		if i >= warm {
+			total++
+			if h {
+				hits++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 1 - float64(hits)/float64(total)
+}
+
+// runFig7 compares SCIP and SCI on all profiles.
+func runFig7(cfg Config) error {
+	header(cfg.Out, "# Figure 7 — SCIP vs SCI (scale %.4g, %d seeds, 64 GB-equivalent)", cfg.Scale, len(cfg.Seeds))
+	header(cfg.Out, "%-8s %10s %10s %10s %10s", "trace", "LRU", "SCI", "SCIP", "SCIP-SCI")
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		lruMR, err := runMissRatio(cfg, p, capBytes, policyBuilder{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }})
+		if err != nil {
+			return err
+		}
+		sciMR, err := runMissRatio(cfg, p, capBytes, policyBuilder{"SCI", func(c, s int64, sc float64) cache.Policy {
+			return core.NewSCICache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+		}})
+		if err != nil {
+			return err
+		}
+		scipMR, err := runMissRatio(cfg, p, capBytes, insertionBaselines()[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-8s %10.4f %10.4f %10.4f %+10.4f\n", p, lruMR, sciMR, scipMR, scipMR-sciMR)
+	}
+	return nil
+}
+
+// runFig8 compares SCIP with the eight insertion baselines and Belady at
+// the three paper cache sizes.
+func runFig8(cfg Config) error {
+	sizes := paperGB
+	if cfg.Quick {
+		sizes = sizes[:1]
+	}
+	for _, sz := range sizes {
+		header(cfg.Out, "# Figure 8 — insertion policies, %d GB-equivalent (scale %.4g)", sz, cfg.Scale)
+		header(cfg.Out, "%-8s %10s ...", "trace", "missRatio")
+		for _, p := range gen.Profiles {
+			capBytes := p.CacheBytes(gb(sz), cfg.Scale)
+			tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, beladyMR(tr, capBytes))
+			for _, b := range insertionBaselines() {
+				mr, err := runMissRatio(cfg, p, capBytes, b)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+			}
+			fmt.Fprintln(cfg.Out)
+		}
+	}
+	return nil
+}
+
+// runResources measures peak memory, throughput and a CPU proxy for each
+// policy on CDN-T (Figures 9 and 11 substitute in-process metering for
+// the paper's testbed monitors; see DESIGN.md §3).
+func runResources(cfg Config, builderSet []policyBuilder, figure string) error {
+	p := gen.CDNT
+	capBytes := p.CacheBytes(gb(64), cfg.Scale)
+	tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# %s — resource usage on CDN-T, 64 GB-equivalent (scale %.4g)", figure, cfg.Scale)
+	header(cfg.Out, "%-10s %10s %12s %12s %14s", "policy", "missRatio", "cpuNsPerReq", "peakHeapMiB", "TPS(kreq/s)")
+	rows := append([]policyBuilder(nil), builderSet...)
+	rows = append(rows, policyBuilder{"Belady", nil})
+	for _, b := range rows {
+		if b.build == nil {
+			// Belady's resource row: metered replay of the oracle.
+			res := sim.Run(tr, belady.New(tr, capBytes), sim.Options{WarmupFrac: 0.2, Meter: true})
+			fmt.Fprintf(cfg.Out, "%-10s %10.4f %12.1f %12.1f %14.1f\n",
+				"Belady", res.MissRatio(), res.NsPerRequest, res.PeakHeapMiB, res.TPS/1000)
+			continue
+		}
+		res := sim.Run(tr, b.build(capBytes, cfg.Seeds[0], cfg.Scale), sim.Options{WarmupFrac: 0.2, Meter: true})
+		fmt.Fprintf(cfg.Out, "%-10s %10.4f %12.1f %12.1f %14.1f\n",
+			b.name, res.MissRatio(), res.NsPerRequest, res.PeakHeapMiB, res.TPS/1000)
+	}
+	return nil
+}
+
+func runFig9(cfg Config) error  { return runResources(cfg, insertionBaselines(), "Figure 9") }
+func runFig11(cfg Config) error { return runResources(cfg, replacementBaselines(), "Figure 11") }
+
+// runFig10 compares SCIP with the replacement algorithms.
+func runFig10(cfg Config) error {
+	header(cfg.Out, "# Figure 10 — replacement algorithms, 64 GB-equivalent (scale %.4g)", cfg.Scale)
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, beladyMR(tr, capBytes))
+		for _, b := range replacementBaselines() {
+			mr, err := runMissRatio(cfg, p, capBytes, b)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}
+
+// runFig12 measures the enhancement of LRU-K and LRB by SCIP and ASC-IP.
+func runFig12(cfg Config) error {
+	header(cfg.Out, "# Figure 12 — enhancing replacement algorithms (scale %.4g, %d seeds)", cfg.Scale, len(cfg.Seeds))
+	header(cfg.Out, "%-8s %10s %12s %12s %10s %12s %12s", "trace", "LRU-K", "LRU-K-SCIP", "LRU-K-ASCIP", "LRB", "LRB-SCIP", "LRB-ASCIP")
+	variants := []policyBuilder{
+		{"LRU-K", func(c, s int64, _ float64) cache.Policy { return replacement.NewLRUK(c, s) }},
+		{"LRU-K-SCIP", func(c, s int64, sc float64) cache.Policy {
+			return replacement.NewLRUKWithInsertion(c, s, core.New(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement()))
+		}},
+		{"LRU-K-ASCIP", func(c, s int64, _ float64) cache.Policy {
+			return replacement.NewLRUKWithInsertion(c, s, policies.NewASCIP(c))
+		}},
+		{"LRB", func(c, s int64, _ float64) cache.Policy { return lrb.New(c, lrb.WithSeed(s)) }},
+		{"LRB-SCIP", func(c, s int64, sc float64) cache.Policy {
+			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(core.New(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement())))
+		}},
+		{"LRB-ASCIP", func(c, s int64, _ float64) cache.Policy {
+			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(policies.NewASCIP(c)))
+		}},
+	}
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		fmt.Fprintf(cfg.Out, "%-8s", p)
+		for _, b := range variants {
+			mr, err := runMissRatio(cfg, p, capBytes, b)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(cfg.Out, " %10.4f", mr)
+		}
+		fmt.Fprintln(cfg.Out)
+	}
+	return nil
+}

@@ -1,0 +1,204 @@
+package exp
+
+import (
+	"fmt"
+
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/ml"
+	"github.com/scip-cache/scip/internal/zro"
+)
+
+func init() {
+	register(Runner{Name: "table1", Title: "Table 1: workload summary statistics", Run: runTable1})
+	register(Runner{Name: "fig1", Title: "Figure 1: ZRO/A-ZRO/P-ZRO/A-P-ZRO shares and reducible miss ratios", Run: runFig1})
+	register(Runner{Name: "fig3", Title: "Figure 3: theoretical miss ratios with oracle LRU placement", Run: runFig3})
+	register(Runner{Name: "fig4", Title: "Figure 4: classifier accuracy on ZRO / P-ZRO / both", Run: runFig4})
+}
+
+// runTable1 prints the generated workloads' Table-1 statistics next to
+// the paper's.
+func runTable1(cfg Config) error {
+	header(cfg.Out, "# Table 1 — workload summary (scale %.4g, seed %d)", cfg.Scale, cfg.Seeds[0])
+	header(cfg.Out, "%-8s %12s %12s %12s %10s %12s %10s", "trace", "requests", "unique", "meanSizeKB", "minSize", "maxSizeMB", "wssGB")
+	for _, p := range gen.Profiles {
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return err
+		}
+		s := tr.ComputeStats()
+		fmt.Fprintf(cfg.Out, "%-8s %12d %12d %12.2f %10d %12.2f %10.3f\n",
+			s.Name, s.TotalRequests, s.UniqueObjects, s.MeanObjectSize/1024,
+			s.MinObjectSize, float64(s.MaxObjectSize)/(1<<20), float64(s.WorkingSetSize)/(1<<30))
+		ps := p.PaperStats()
+		fmt.Fprintf(cfg.Out, "%-8s %12d %12d %12.2f %10d %12.2f %10.3f  (paper, scale 1)\n",
+			"", ps.TotalRequests, ps.UniqueObjects, ps.MeanObjectSize/1024,
+			ps.MinObjectSize, float64(ps.MaxObjectSize)/(1<<20), float64(ps.WorkingSetSize)/(1<<30))
+	}
+	return nil
+}
+
+// fig1Sizes are the paper's cache sizes A–D as fractions of the working
+// set X.
+var fig1Sizes = []struct {
+	label string
+	frac  float64
+}{
+	{"A=0.5%X", 0.005},
+	{"B=1%X", 0.01},
+	{"C=5%X", 0.05},
+	{"D=10%X", 0.10},
+}
+
+// runFig1 reproduces Figure 1: the shares of ZROs among missing objects
+// (a), A-ZROs among ZROs (c), P-ZROs among hits (d), A-P-ZROs among
+// P-ZROs (f), and the LRU miss ratios with the oracle-reducible portion
+// (b, e).
+func runFig1(cfg Config) error {
+	sizes := fig1Sizes
+	if cfg.Quick {
+		sizes = sizes[1:3]
+	}
+	header(cfg.Out, "# Figure 1 — ZRO family shares under LRU (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %-8s %8s %8s %8s %8s %8s %10s %10s", "trace", "size", "ZRO%", "A-ZRO%", "P-ZRO%", "A-P-ZRO%", "lruMR", "mr(ZRO)", "mr(P-ZRO)")
+	for _, p := range gen.Profiles {
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return err
+		}
+		wss := tr.ComputeStats().WorkingSetSize
+		for _, sz := range sizes {
+			capBytes := int64(sz.frac * float64(wss))
+			_, sum := zro.Analyze(tr, capBytes)
+			zroMR := zro.OracleReplay(tr, capBytes, true, false, 1, 0)
+			pzroMR := zro.OracleReplay(tr, capBytes, false, true, 1, 0)
+			fmt.Fprintf(cfg.Out, "%-8s %-8s %8.2f %8.2f %8.2f %8.2f %8.4f %10.4f %10.4f\n",
+				p, sz.label, 100*sum.ZROFrac(), 100*sum.AZROFrac(),
+				100*sum.PZROFrac(), 100*sum.APZROFrac(), sum.MissRatio, zroMR, pzroMR)
+		}
+	}
+	return nil
+}
+
+// runFig3 reproduces Figure 3: the theoretical miss ratio as increasing
+// fractions of ZROs, P-ZROs, or both are placed at the LRU position.
+func runFig3(cfg Config) error {
+	fracs := []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0}
+	if cfg.Quick {
+		fracs = []float64{0, 0.5, 1.0}
+	}
+	header(cfg.Out, "# Figure 3 — oracle LRU-position placement (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %6s %10s %10s %10s", "trace", "frac", "mr(ZRO)", "mr(P-ZRO)", "mr(both)")
+	for _, p := range gen.Profiles {
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return err
+		}
+		wss := tr.ComputeStats().WorkingSetSize
+		capBytes := int64(0.05 * float64(wss)) // size C, mid panel
+		for _, f := range fracs {
+			z := zro.OracleReplay(tr, capBytes, true, false, f, 0)
+			pz := zro.OracleReplay(tr, capBytes, false, true, f, 0)
+			both := zro.OracleReplay(tr, capBytes, true, true, f, 0)
+			fmt.Fprintf(cfg.Out, "%-8s %6.0f%% %10.4f %10.4f %10.4f\n", p, 100*f, z, pz, both)
+		}
+	}
+	return nil
+}
+
+// fig4Models builds the Figure-4 classifier set. The NN width shrinks
+// with the trace scale (the paper's 1024 neurons train on 100M-request
+// traces).
+func fig4Models(seed int64, quick bool) []ml.Classifier {
+	hidden := 64
+	epochs := 20
+	trees := 40
+	if quick {
+		hidden, epochs, trees = 16, 5, 10
+	}
+	return []ml.Classifier{
+		&ml.LinReg{},
+		&ml.LogReg{Seed: seed, Epochs: epochs},
+		&ml.SVM{Seed: seed, Epochs: epochs},
+		&ml.NN{Hidden: hidden, Seed: seed, Epochs: epochs},
+		&ml.GBM{Trees: trees},
+		&ml.Bandit{Seed: seed},
+	}
+}
+
+// runFig4 reproduces Figure 4: decision accuracy of six models on the
+// ZRO, P-ZRO, and combined classification tasks.
+func runFig4(cfg Config) error {
+	header(cfg.Out, "# Figure 4 — classifier accuracy (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %-6s %8s %8s %8s %8s %8s %8s", "trace", "task", "LinReg", "LogReg", "SVM", "NN", "GBM", "MAB")
+	sample := 4
+	if cfg.Quick {
+		sample = 16
+	}
+	for _, p := range gen.Profiles {
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return err
+		}
+		wss := tr.ComputeStats().WorkingSetSize
+		capBytes := int64(0.05 * float64(wss))
+		labels, _ := zro.Analyze(tr, capBytes)
+		events := zro.CollectEvents(tr, capBytes, sample)
+		tasks := []struct {
+			name string
+			want func(e zro.Event) (keep bool, label float64)
+		}{
+			{"ZRO", func(e zro.Event) (bool, float64) {
+				if !e.Insertion || !labels.Resolved[e.Index] {
+					return false, 0
+				}
+				return true, b2f(labels.ZRO[e.Index])
+			}},
+			{"P-ZRO", func(e zro.Event) (bool, float64) {
+				if e.Insertion || !labels.Resolved[e.Index] {
+					return false, 0
+				}
+				return true, b2f(labels.PZRO[e.Index])
+			}},
+			{"both", func(e zro.Event) (bool, float64) {
+				if !labels.Resolved[e.Index] {
+					return false, 0
+				}
+				return true, b2f(labels.ZRO[e.Index] || labels.PZRO[e.Index])
+			}},
+		}
+		for _, task := range tasks {
+			d := &ml.Dataset{}
+			for _, e := range events {
+				if keep, y := task.want(e); keep {
+					// Copy: Standardize mutates rows in place and the
+					// events are shared across the three tasks.
+					d.X = append(d.X, append([]float64(nil), e.Features...))
+					d.Y = append(d.Y, y)
+				}
+			}
+			if d.Len() < 100 {
+				fmt.Fprintf(cfg.Out, "%-8s %-6s insufficient data (%d rows)\n", p, task.name, d.Len())
+				continue
+			}
+			train, test := d.Split(0.7, cfg.Seeds[0])
+			m, s := train.Standardize()
+			test.ApplyScaling(m, s)
+			fmt.Fprintf(cfg.Out, "%-8s %-6s", p, task.name)
+			for _, c := range fig4Models(cfg.Seeds[0], cfg.Quick) {
+				if err := c.Fit(train); err != nil {
+					return fmt.Errorf("fig4 %s/%s/%s: %w", p, task.name, c.Name(), err)
+				}
+				fmt.Fprintf(cfg.Out, " %8.3f", ml.Accuracy(c, test))
+			}
+			fmt.Fprintln(cfg.Out)
+		}
+	}
+	return nil
+}
+
+func b2f(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,239 @@
+// Package gen produces synthetic CDN workloads that stand in for the
+// paper's proprietary traces (CDN-T from Tencent TDC, CDN-W from the LRB
+// Wikipedia trace, CDN-A from the Tencent photo store). Each generated
+// trace preserves the structural properties the SCIP experiments depend
+// on: Zipf-like popularity with temporal drift, heavy-tailed log-normal
+// object sizes, one-hit wonders (the source of ZROs) and short re-access
+// echoes of cold objects (the source of P-ZROs). The profiles scale the
+// Table-1 request and object counts down uniformly so the cache-size to
+// working-set ratios of the paper's experiments are preserved.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+// Config parametrises a synthetic workload.
+type Config struct {
+	// Name labels the trace.
+	Name string
+	// Seed makes generation deterministic.
+	Seed int64
+	// Requests is the number of requests to generate.
+	Requests int
+	// CatalogSize is the number of objects in the rotating hot catalog.
+	CatalogSize int
+	// ZipfAlpha is the popularity skew of the catalog (typically 0.7–1.1).
+	ZipfAlpha float64
+	// OneHitFrac is the fraction of requests that address a fresh object
+	// never requested again (one-hit wonders; these become ZROs).
+	OneHitFrac float64
+	// EchoProb is the probability that a catalog request to a cold
+	// (tail) object schedules one quick re-access, which typically hits
+	// and then never recurs — the P-ZRO generator.
+	EchoProb float64
+	// EchoDelay is the mean distance, in requests, between an access
+	// and its echo.
+	EchoDelay int
+	// EchoTailFrac restricts echoes to the coldest fraction of the
+	// catalog (by rank). 0.5 means only the colder half echoes.
+	EchoTailFrac float64
+	// EpochRequests is the drift period: every EpochRequests requests,
+	// DriftFrac of the catalog is replaced with fresh objects.
+	EpochRequests int
+	// DriftFrac is the fraction of catalog slots replaced per epoch.
+	DriftFrac float64
+	// SizeMean is the target mean object size in bytes.
+	SizeMean float64
+	// SizeSigma is the log-normal shape parameter.
+	SizeSigma float64
+	// MinSize and MaxSize clamp object sizes (bytes).
+	MinSize, MaxSize int64
+	// OneHitSizeBoost multiplies the size scale of one-hit-wonder
+	// objects relative to catalog objects (default 1: no correlation).
+	// Real CDN traces correlate object size with zero reuse — large
+	// objects are one-time downloads — which is the premise of
+	// size-aware insertion policies; catalog sizes are scaled down so
+	// the overall mean stays at SizeMean.
+	OneHitSizeBoost float64
+	// Duration is the simulated wall time covered by the trace, in
+	// seconds; timestamps are spread uniformly across it.
+	Duration int64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	switch {
+	case c.Requests <= 0:
+		return fmt.Errorf("gen: Requests must be > 0, got %d", c.Requests)
+	case c.CatalogSize <= 0:
+		return fmt.Errorf("gen: CatalogSize must be > 0, got %d", c.CatalogSize)
+	case c.ZipfAlpha < 0:
+		return fmt.Errorf("gen: ZipfAlpha must be >= 0, got %g", c.ZipfAlpha)
+	case c.OneHitFrac < 0 || c.OneHitFrac >= 1:
+		return fmt.Errorf("gen: OneHitFrac must be in [0,1), got %g", c.OneHitFrac)
+	case c.EchoProb < 0 || c.EchoProb > 1:
+		return fmt.Errorf("gen: EchoProb must be in [0,1], got %g", c.EchoProb)
+	case c.MinSize <= 0 || c.MaxSize < c.MinSize:
+		return fmt.Errorf("gen: need 0 < MinSize <= MaxSize, got %d..%d", c.MinSize, c.MaxSize)
+	case c.SizeMean <= 0:
+		return fmt.Errorf("gen: SizeMean must be > 0, got %g", c.SizeMean)
+	case c.Duration <= 0:
+		return fmt.Errorf("gen: Duration must be > 0, got %d", c.Duration)
+	}
+	return nil
+}
+
+// zipf is a discrete bounded Zipf(alpha) sampler over ranks [0, n) using a
+// precomputed CDF and binary search. Unlike math/rand's Zipf it supports
+// alpha <= 1, which real CDN popularity curves require.
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, alpha float64) *zipf {
+	cdf := make([]float64, n)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += math.Pow(float64(i+1), -alpha)
+		cdf[i] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	return &zipf{cdf: cdf}
+}
+
+// rank draws a rank in [0, n); rank 0 is the most popular.
+func (z *zipf) rank(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// Generator produces a trace from a Config.
+type Generator struct {
+	cfg     Config
+	rng     *rand.Rand
+	zipf    *zipf
+	catalog []uint64 // rank -> object id
+	sizes   map[uint64]int64
+	nextID  uint64
+	echoes  map[int][]uint64 // due request index -> object ids
+	sizeMu  float64
+	// muCatalog and muOneHit are the log-normal location parameters of
+	// the two object populations (see Config.OneHitSizeBoost).
+	muCatalog, muOneHit float64
+}
+
+// NewGenerator validates cfg and prepares a deterministic generator.
+func NewGenerator(cfg Config) (*Generator, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.EchoDelay <= 0 {
+		cfg.EchoDelay = 100
+	}
+	if cfg.EpochRequests <= 0 {
+		cfg.EpochRequests = cfg.Requests + 1 // no drift
+	}
+	if cfg.EchoTailFrac <= 0 || cfg.EchoTailFrac > 1 {
+		cfg.EchoTailFrac = 1
+	}
+	if cfg.OneHitSizeBoost <= 0 {
+		cfg.OneHitSizeBoost = 1
+	}
+	g := &Generator{
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		zipf:   newZipf(cfg.CatalogSize, cfg.ZipfAlpha),
+		sizes:  make(map[uint64]int64, cfg.CatalogSize*2),
+		echoes: make(map[int][]uint64),
+		sizeMu: math.Log(cfg.SizeMean) - cfg.SizeSigma*cfg.SizeSigma/2,
+	}
+	// Split the mean between one-hit and catalog objects so the overall
+	// unique-object mean stays near SizeMean despite the boost. The
+	// one-hit share of unique objects is roughly
+	// OneHitFrac·Requests / (OneHitFrac·Requests + CatalogSize).
+	uShare := cfg.OneHitFrac * float64(cfg.Requests)
+	uShare = uShare / (uShare + float64(cfg.CatalogSize))
+	denom := uShare*cfg.OneHitSizeBoost + (1 - uShare)
+	catScale := 1 / denom
+	g.muCatalog = g.sizeMu + math.Log(catScale)
+	g.muOneHit = g.sizeMu + math.Log(catScale*cfg.OneHitSizeBoost)
+	g.catalog = make([]uint64, cfg.CatalogSize)
+	for i := range g.catalog {
+		g.catalog[i] = g.newObject(g.muCatalog)
+	}
+	return g, nil
+}
+
+// newObject mints a fresh object id with a log-normal size around mu.
+func (g *Generator) newObject(mu float64) uint64 {
+	id := g.nextID
+	g.nextID++
+	s := int64(math.Exp(mu + g.cfg.SizeSigma*g.rng.NormFloat64()))
+	if s < g.cfg.MinSize {
+		s = g.cfg.MinSize
+	}
+	if s > g.cfg.MaxSize {
+		s = g.cfg.MaxSize
+	}
+	g.sizes[id] = s
+	return id
+}
+
+// Generate produces the full trace.
+func (g *Generator) Generate() *trace.Trace {
+	cfg := g.cfg
+	t := &trace.Trace{Name: cfg.Name, Requests: make([]cache.Request, 0, cfg.Requests)}
+	tailStart := int(float64(cfg.CatalogSize) * (1 - cfg.EchoTailFrac))
+	for i := 0; i < cfg.Requests; i++ {
+		// Catalog drift at epoch boundaries: replaced slots keep their
+		// popularity rank but point to fresh objects, so the retired
+		// objects' cached copies become dead (future ZROs).
+		if i > 0 && i%cfg.EpochRequests == 0 {
+			replace := int(cfg.DriftFrac * float64(cfg.CatalogSize))
+			for j := 0; j < replace; j++ {
+				slot := g.rng.Intn(cfg.CatalogSize)
+				g.catalog[slot] = g.newObject(g.muCatalog)
+			}
+		}
+		var key uint64
+		if due, ok := g.echoes[i]; ok {
+			// Deliver one scheduled echo; requeue the rest.
+			key = due[0]
+			if len(due) > 1 {
+				g.echoes[i+1] = append(g.echoes[i+1], due[1:]...)
+			}
+			delete(g.echoes, i)
+		} else if g.rng.Float64() < cfg.OneHitFrac {
+			key = g.newObject(g.muOneHit)
+		} else {
+			rank := g.zipf.rank(g.rng)
+			key = g.catalog[rank]
+			if rank >= tailStart && g.rng.Float64() < cfg.EchoProb {
+				delay := 1 + g.rng.Intn(2*cfg.EchoDelay)
+				g.echoes[i+delay] = append(g.echoes[i+delay], key)
+			}
+		}
+		tm := int64(float64(i) / float64(cfg.Requests) * float64(cfg.Duration))
+		t.Requests = append(t.Requests, cache.Request{Time: tm, Key: key, Size: g.sizes[key]})
+	}
+	return t
+}
+
+// Generate is a convenience wrapper: build a generator and produce the
+// trace in one call.
+func Generate(cfg Config) (*trace.Trace, error) {
+	g, err := NewGenerator(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return g.Generate(), nil
+}

@@ -1,0 +1,279 @@
+package gen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := CDNT.Config(0.001, 1)
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Requests = 0 },
+		func(c *Config) { c.CatalogSize = 0 },
+		func(c *Config) { c.ZipfAlpha = -1 },
+		func(c *Config) { c.OneHitFrac = 1.5 },
+		func(c *Config) { c.EchoProb = -0.1 },
+		func(c *Config) { c.MinSize = 0 },
+		func(c *Config) { c.MaxSize = c.MinSize - 1 },
+		func(c *Config) { c.SizeMean = 0 },
+		func(c *Config) { c.Duration = 0 },
+	}
+	for i, mut := range bad {
+		c := good
+		mut(&c)
+		if err := c.Validate(); err == nil {
+			t.Fatalf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := CDNT.Config(0.0005, 42)
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Requests) != len(b.Requests) {
+		t.Fatal("lengths differ across identical seeds")
+	}
+	for i := range a.Requests {
+		if a.Requests[i] != b.Requests[i] {
+			t.Fatalf("request %d differs: %v vs %v", i, a.Requests[i], b.Requests[i])
+		}
+	}
+}
+
+func TestGenerateSeedsDiffer(t *testing.T) {
+	a, _ := Generate(CDNT.Config(0.0005, 1))
+	b, _ := Generate(CDNT.Config(0.0005, 2))
+	same := 0
+	for i := range a.Requests {
+		if a.Requests[i].Key == b.Requests[i].Key {
+			same++
+		}
+	}
+	if same == len(a.Requests) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateBasicInvariants(t *testing.T) {
+	for _, p := range Profiles {
+		cfg := p.Config(0.0008, 7)
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(tr.Requests) != cfg.Requests {
+			t.Fatalf("%s: got %d requests, want %d", p, len(tr.Requests), cfg.Requests)
+		}
+		var prev int64
+		sizes := map[uint64]int64{}
+		for i, r := range tr.Requests {
+			if r.Time < prev {
+				t.Fatalf("%s: non-monotonic time at %d", p, i)
+			}
+			prev = r.Time
+			if r.Size < cfg.MinSize || r.Size > cfg.MaxSize {
+				t.Fatalf("%s: size %d outside [%d,%d]", p, r.Size, cfg.MinSize, cfg.MaxSize)
+			}
+			if s, ok := sizes[r.Key]; ok && s != r.Size {
+				t.Fatalf("%s: object %d changed size %d -> %d", p, r.Key, s, r.Size)
+			}
+			sizes[r.Key] = r.Size
+		}
+	}
+}
+
+// TestProfileUniqueRatios checks that the unique/total object ratios of the
+// generated workloads land near the paper's Table-1 ratios, which drive the
+// ZRO structure of every experiment.
+func TestProfileUniqueRatios(t *testing.T) {
+	want := map[Profile]float64{}
+	for _, p := range Profiles {
+		ps := p.PaperStats()
+		want[p] = float64(ps.UniqueObjects) / float64(ps.TotalRequests)
+	}
+	for _, p := range Profiles {
+		tr, err := Generate(p.Config(0.002, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.ComputeStats()
+		got := float64(s.UniqueObjects) / float64(s.TotalRequests)
+		if math.Abs(got-want[p]) > 0.35*want[p]+0.02 {
+			t.Errorf("%s: unique/total = %.3f, paper %.3f", p, got, want[p])
+		}
+	}
+}
+
+// TestProfileMeanSizes checks the object-level mean sizes are within a
+// factor ~2 of the calibration targets (log-normal clamping shifts them).
+func TestProfileMeanSizes(t *testing.T) {
+	for _, p := range Profiles {
+		cfg := p.Config(0.002, 3)
+		tr, err := Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := tr.ComputeStats()
+		ratio := s.MeanObjectSize / cfg.SizeMean
+		if ratio < 0.4 || ratio > 2.5 {
+			t.Errorf("%s: mean size %.0f vs target %.0f (ratio %.2f)", p, s.MeanObjectSize, cfg.SizeMean, ratio)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	z := newZipf(1000, 1.0)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		counts[z.rank(rng)]++
+	}
+	if counts[0] <= counts[100] || counts[100] <= counts[900] {
+		t.Fatalf("Zipf not skewed: c0=%d c100=%d c900=%d", counts[0], counts[100], counts[900])
+	}
+	// Rank 0 should hold roughly 1/H(1000) of the mass (~13% for alpha=1).
+	frac := float64(counts[0]) / 200000
+	if frac < 0.08 || frac > 0.25 {
+		t.Fatalf("rank-0 mass = %.3f, want ~0.13", frac)
+	}
+}
+
+func TestZipfUniformWhenAlphaZero(t *testing.T) {
+	z := newZipf(100, 0)
+	rng := rand.New(rand.NewSource(5))
+	counts := make([]int, 100)
+	for i := 0; i < 100000; i++ {
+		counts[z.rank(rng)]++
+	}
+	for r, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("alpha=0 rank %d count %d not ~1000", r, c)
+		}
+	}
+}
+
+func TestCacheBytesScales(t *testing.T) {
+	paperBytes := int64(64 << 30)
+	got := CDNT.CacheBytes(paperBytes, 0.02)
+	want := int64(float64(paperBytes) * 0.02)
+	if got != want {
+		t.Fatalf("CacheBytes=%d want %d", got, want)
+	}
+}
+
+func TestPaperStatsCoverProfiles(t *testing.T) {
+	for _, p := range Profiles {
+		s := p.PaperStats()
+		if s.TotalRequests == 0 || s.WorkingSetSize == 0 {
+			t.Fatalf("%s: empty paper stats", p)
+		}
+	}
+	if Profile("other").PaperStats().TotalRequests != 0 {
+		t.Fatal("unknown profile should have empty paper stats")
+	}
+}
+
+func TestUnknownProfileConfigUsable(t *testing.T) {
+	cfg := Profile("tiny").Config(0.001, 1)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("generic profile invalid: %v", err)
+	}
+	if _, err := Generate(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOneHitSizeBoostCorrelation verifies the size↔zero-reuse correlation:
+// with a boost, objects seen exactly once must be larger on average than
+// reused objects, while the overall mean stays near the target.
+func TestOneHitSizeBoostCorrelation(t *testing.T) {
+	cfg := Config{
+		Name: "boost", Seed: 9,
+		Requests:    120_000,
+		CatalogSize: 2_000,
+		ZipfAlpha:   0.9,
+		OneHitFrac:  0.3,
+		SizeMean:    10_000, SizeSigma: 1.0, OneHitSizeBoost: 4,
+		MinSize: 16, MaxSize: 10 << 20,
+		Duration: 3600,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	sizes := map[uint64]int64{}
+	for _, r := range tr.Requests {
+		counts[r.Key]++
+		sizes[r.Key] = r.Size
+	}
+	var oneSum, oneN, multiSum, multiN float64
+	for k, c := range counts {
+		if c == 1 {
+			oneSum += float64(sizes[k])
+			oneN++
+		} else {
+			multiSum += float64(sizes[k])
+			multiN++
+		}
+	}
+	oneMean := oneSum / oneN
+	multiMean := multiSum / multiN
+	if oneMean < 2*multiMean {
+		t.Fatalf("one-hit mean %.0f not clearly above reused mean %.0f", oneMean, multiMean)
+	}
+	overall := tr.ComputeStats().MeanObjectSize
+	if overall < cfg.SizeMean*0.4 || overall > cfg.SizeMean*2.5 {
+		t.Fatalf("overall mean %.0f drifted from target %.0f", overall, cfg.SizeMean)
+	}
+}
+
+// TestBoostDisabledIsNeutral: with boost 1 the two populations share the
+// same size distribution.
+func TestBoostDisabledIsNeutral(t *testing.T) {
+	cfg := Config{
+		Name: "noboost", Seed: 9,
+		Requests:    120_000,
+		CatalogSize: 2_000,
+		ZipfAlpha:   0.9,
+		OneHitFrac:  0.3,
+		SizeMean:    10_000, SizeSigma: 1.0,
+		MinSize: 16, MaxSize: 10 << 20,
+		Duration: 3600,
+	}
+	tr, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[uint64]int{}
+	sizes := map[uint64]int64{}
+	for _, r := range tr.Requests {
+		counts[r.Key]++
+		sizes[r.Key] = r.Size
+	}
+	var oneSum, oneN, multiSum, multiN float64
+	for k, c := range counts {
+		if c == 1 {
+			oneSum += float64(sizes[k])
+			oneN++
+		} else {
+			multiSum += float64(sizes[k])
+			multiN++
+		}
+	}
+	ratio := (oneSum / oneN) / (multiSum / multiN)
+	if ratio < 0.6 || ratio > 1.6 {
+		t.Fatalf("boost=1 populations differ: ratio %.2f", ratio)
+	}
+}

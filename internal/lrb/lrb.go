@@ -1,0 +1,349 @@
+// Package lrb implements a faithful, laptop-scale reduction of Learning
+// Relaxed Belady (Song et al., NSDI'20): per-object features (inter-access
+// deltas, exponentially decayed counters, size, age) are maintained inside
+// a sliding memory window; training samples receive their labels — the
+// forward distance to the next access — when the object is next requested
+// (or the window expires them); a gradient-boosted regression forest
+// predicts time-to-next-access; and eviction removes the
+// furthest-predicted object from a random sample of cached candidates.
+package lrb
+
+import (
+	"math"
+	"math/rand"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/ml"
+)
+
+// Feature layout.
+const (
+	numDeltas   = 4
+	numEDCs     = 8
+	NumFeatures = 2 + numDeltas + numEDCs // size, age, deltas, EDCs
+)
+
+// objMeta is the feature state for one object in the memory window.
+type objMeta struct {
+	key      uint64
+	size     int64
+	lastSeen int64
+	deltas   [numDeltas]float64 // most recent first, log2-scaled
+	edcs     [numEDCs]float64
+	cached   bool
+	// demoted marks SCIP-LRU placements: treated as immediate eviction
+	// candidates (predicted-infinite distance).
+	demoted bool
+	// res tracks how the current residency began and residHits counts
+	// its hits, for the insertion-policy integration.
+	res       cache.Residency
+	residHits int
+	// insertedMRU mirrors the SCIP bookkeeping for OnEvict.
+	insertedMRU bool
+	// storeIdx is the object's slot in the cached-set sampler.
+	storeIdx int
+}
+
+// pending is a training sample waiting for its label.
+type pending struct {
+	key  uint64
+	at   int64
+	feat []float64
+}
+
+// Option configures an LRB cache.
+type Option func(*LRB)
+
+// WithWindow sets the memory window in requests (default 1<<17).
+func WithWindow(w int64) Option {
+	return func(l *LRB) {
+		if w > 0 {
+			l.window = w
+		}
+	}
+}
+
+// WithInsertion plugs an insertion/promotion policy (LRB-SCIP /
+// LRB-ASC-IP in Figure 12): a cache.LRU decision demotes the object so
+// the sampler evicts it first; cache.MRU keeps normal LRB behaviour. Per
+// the paper's integration note, the policy can learn from LRB's memory
+// window rather than globally.
+func WithInsertion(ins cache.InsertionPolicy) Option {
+	return func(l *LRB) {
+		l.ins = ins
+		l.name = "LRB-" + ins.Name()
+	}
+}
+
+// WithSeed fixes sampling and training randomness.
+func WithSeed(seed int64) Option {
+	return func(l *LRB) { l.seed = seed }
+}
+
+// LRB is the learned cache.
+type LRB struct {
+	// SampleSize is the eviction sample (default 64).
+	SampleSize int
+	// SampleEvery subsamples accesses into training candidates
+	// (default 8).
+	SampleEvery int
+	// TrainEvery triggers training after this many fresh labels
+	// (default 2048).
+	TrainEvery int
+	// MaxTrain caps the training set (default 8192).
+	MaxTrain int
+
+	name   string
+	cap    int64
+	bytes  int64
+	window int64
+	seed   int64
+	seq    int64
+	meta   map[uint64]*objMeta
+	cached []*objMeta // sampler over cached objects
+	rng    *rand.Rand
+
+	pend      map[uint64][]pending
+	pendCount int
+	trainX    [][]float64
+	trainY    []float64
+	fresh     int
+	model     *ml.GBM
+
+	ins cache.InsertionPolicy
+	buf []*objMeta
+}
+
+var _ cache.Policy = (*LRB)(nil)
+
+// New returns an LRB cache of capBytes capacity.
+func New(capBytes int64, opts ...Option) *LRB {
+	l := &LRB{
+		SampleSize:  64,
+		SampleEvery: 8,
+		TrainEvery:  2048,
+		MaxTrain:    8192,
+		name:        "LRB",
+		cap:         capBytes,
+		window:      1 << 17,
+		meta:        make(map[uint64]*objMeta, 1<<12),
+		pend:        make(map[uint64][]pending, 1<<12),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	l.rng = rand.New(rand.NewSource(l.seed + 907))
+	return l
+}
+
+// Name implements cache.Policy.
+func (l *LRB) Name() string { return l.name }
+
+// Capacity implements cache.Policy.
+func (l *LRB) Capacity() int64 { return l.cap }
+
+// Used implements cache.Policy.
+func (l *LRB) Used() int64 { return l.bytes }
+
+// Trained reports whether a model has been fit (diagnostics).
+func (l *LRB) Trained() bool { return l.model != nil }
+
+// features builds the feature vector for m at the current sequence time.
+func (l *LRB) features(m *objMeta) []float64 {
+	f := make([]float64, 0, NumFeatures)
+	f = append(f,
+		math.Log2(float64(m.size)+1),
+		math.Log2(float64(l.seq-m.lastSeen)+1),
+	)
+	f = append(f, m.deltas[:]...)
+	f = append(f, m.edcs[:]...)
+	return f
+}
+
+// touch updates the feature state of an object on access.
+func (l *LRB) touch(m *objMeta) {
+	gap := float64(l.seq - m.lastSeen)
+	copy(m.deltas[1:], m.deltas[:numDeltas-1])
+	m.deltas[0] = math.Log2(gap + 1)
+	for i := range m.edcs {
+		half := math.Exp2(float64(9 + i))
+		m.edcs[i] = 1 + m.edcs[i]*math.Exp2(-gap/half)
+	}
+	m.lastSeen = l.seq
+}
+
+// Access implements cache.Policy.
+func (l *LRB) Access(req cache.Request) bool {
+	l.seq++
+	if l.seq%l.window == 0 {
+		l.pruneWindow()
+	}
+	m, known := l.meta[req.Key]
+	hit := known && m.cached
+	if l.ins != nil {
+		l.ins.OnAccess(req, hit)
+	}
+	// Label any pending training samples for this object.
+	if ps, ok := l.pend[req.Key]; ok {
+		for _, p := range ps {
+			l.label(p.feat, float64(l.seq-p.at))
+		}
+		delete(l.pend, req.Key)
+		l.pendCount -= len(ps)
+	}
+	if !known {
+		m = &objMeta{key: req.Key, size: req.Size, lastSeen: l.seq, storeIdx: -1}
+		l.meta[req.Key] = m
+	} else {
+		l.touch(m)
+	}
+	// Subsample accesses into unlabeled training candidates.
+	if l.seq%int64(l.SampleEvery) == 0 {
+		l.pend[req.Key] = append(l.pend[req.Key], pending{key: req.Key, at: l.seq, feat: l.features(m)})
+		l.pendCount++
+	}
+	if hit {
+		m.residHits++
+		if obs, ok := l.ins.(cache.ResidencyObserver); ok && l.ins != nil {
+			obs.OnResidentHit(req, !m.demoted, m.res, m.residHits)
+		}
+		if l.ins != nil && l.ins.ChoosePromote(req) == cache.LRU {
+			m.demoted = true
+			m.insertedMRU = false
+		} else {
+			m.demoted = false
+			m.insertedMRU = true
+		}
+		if m.res == cache.ResInserted {
+			m.res = cache.ResFirstHit
+		} else {
+			m.res = cache.ResRepeat
+		}
+		m.residHits = 0
+		return true
+	}
+	if req.Size > l.cap || req.Size <= 0 {
+		return false
+	}
+	for l.bytes+req.Size > l.cap {
+		l.evictOne()
+	}
+	m.cached = true
+	m.residHits = 0
+	m.res = cache.ResInserted
+	m.demoted = false
+	m.insertedMRU = true
+	if l.ins != nil && l.ins.ChooseInsert(req) == cache.LRU {
+		m.demoted = true
+		m.insertedMRU = false
+	}
+	m.storeIdx = len(l.cached)
+	l.cached = append(l.cached, m)
+	l.bytes += req.Size
+	return false
+}
+
+// label adds a completed training sample and triggers training.
+func (l *LRB) label(feat []float64, dist float64) {
+	if len(l.trainX) >= l.MaxTrain {
+		n := l.MaxTrain / 2
+		copy(l.trainX, l.trainX[len(l.trainX)-n:])
+		copy(l.trainY, l.trainY[len(l.trainY)-n:])
+		l.trainX = l.trainX[:n]
+		l.trainY = l.trainY[:n]
+	}
+	l.trainX = append(l.trainX, feat)
+	l.trainY = append(l.trainY, math.Log2(dist+1))
+	l.fresh++
+	if l.fresh >= l.TrainEvery && len(l.trainX) >= 512 {
+		l.fresh = 0
+		m := &ml.GBM{Squared: true, Trees: 30, Depth: 4, LR: 0.2, MinLeaf: 16}
+		if err := m.FitRegression(l.trainX, l.trainY); err == nil {
+			l.model = m
+		}
+	}
+}
+
+// predictDistance scores a cached candidate; higher means safer to evict.
+func (l *LRB) predictDistance(m *objMeta) float64 {
+	if m.demoted {
+		return math.Inf(1)
+	}
+	if l.model == nil {
+		// Untrained: fall back to recency (oldest last-seen evicted
+		// first), mirroring LRB's LRU warm-up phase.
+		return float64(l.seq - m.lastSeen)
+	}
+	return l.model.Predict(l.features(m))
+}
+
+func (l *LRB) evictOne() {
+	if len(l.cached) == 0 {
+		panic("lrb: evict from empty cache")
+	}
+	l.buf = l.buf[:0]
+	n := l.SampleSize
+	if n > len(l.cached) {
+		n = len(l.cached)
+	}
+	for i := 0; i < n; i++ {
+		l.buf = append(l.buf, l.cached[l.rng.Intn(len(l.cached))])
+	}
+	victim := l.buf[0]
+	best := l.predictDistance(victim)
+	for _, m := range l.buf[1:] {
+		if d := l.predictDistance(m); d > best {
+			victim, best = m, d
+		}
+	}
+	l.removeCached(victim)
+	if l.ins != nil {
+		l.ins.OnEvict(cache.EvictInfo{
+			Key:         victim.key,
+			Size:        victim.size,
+			InsertedMRU: victim.insertedMRU,
+			EverHit:     victim.residHits > 0,
+			Residency:   victim.res,
+		})
+	}
+}
+
+func (l *LRB) removeCached(m *objMeta) {
+	last := len(l.cached) - 1
+	idx := m.storeIdx
+	l.cached[idx] = l.cached[last]
+	l.cached[idx].storeIdx = idx
+	l.cached = l.cached[:last]
+	m.cached = false
+	m.storeIdx = -1
+	l.bytes -= m.size
+}
+
+// pruneWindow drops metadata and unlabeled samples older than the memory
+// window (cached objects always stay).
+func (l *LRB) pruneWindow() {
+	cut := l.seq - l.window
+	for k, m := range l.meta {
+		if !m.cached && m.lastSeen < cut {
+			delete(l.meta, k)
+		}
+	}
+	for k, ps := range l.pend {
+		kept := ps[:0]
+		for _, p := range ps {
+			if p.at >= cut {
+				kept = append(kept, p)
+			} else {
+				// Window expiry: label with the window length (the
+				// relaxed-Belady "beyond boundary" outcome).
+				l.label(p.feat, float64(l.window)*2)
+				l.pendCount--
+			}
+		}
+		if len(kept) == 0 {
+			delete(l.pend, k)
+		} else {
+			l.pend[k] = kept
+		}
+	}
+}

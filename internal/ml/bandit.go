@@ -1,0 +1,170 @@
+package ml
+
+import "errors"
+
+// Bandit is the Multi-Armed-Bandit classifier of Figure 4. Each feature is
+// discretised into a small number of quantile bins; the cross product of
+// bins forms a context, and each context keeps running reward estimates
+// for the two arms (predict 0 / predict 1). Training replays the dataset
+// as a bandit stream: the model picks the arm with the higher estimate and
+// receives reward 1 when the arm matches the label, updating the pulled
+// arm's estimate — the same perceive-continuous-changes loop SCIP uses,
+// applied to classification. Contexts never seen fall back to the global
+// arm estimates.
+type Bandit struct {
+	// BinsPerFeature discretises each feature (default 4). The context
+	// count is BinsPerFeature^features capped at 1<<16; excess features
+	// are folded by hashing.
+	BinsPerFeature int
+	// Epsilon is the exploration rate during training (default 0.1).
+	Epsilon float64
+	// Epochs is the number of replay passes (default 3).
+	Epochs int
+	// Seed drives exploration.
+	Seed int64
+
+	cuts    [][]float64 // per-feature bin cut points
+	rewards map[uint32][2]reward
+	global  [2]reward
+}
+
+type reward struct {
+	sum float64
+	n   float64
+}
+
+func (r reward) value() float64 {
+	if r.n == 0 {
+		return 0.5 // optimistic prior keeps exploration alive
+	}
+	return r.sum / r.n
+}
+
+// Name implements Classifier.
+func (m *Bandit) Name() string { return "MAB" }
+
+// Fit implements Classifier.
+func (m *Bandit) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if m.BinsPerFeature <= 0 {
+		m.BinsPerFeature = 4
+	}
+	if m.Epsilon <= 0 {
+		m.Epsilon = 0.1
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 3
+	}
+	m.fitCuts(d)
+	m.rewards = make(map[uint32][2]reward)
+	m.global = [2]reward{}
+	rng := newSplitMix(uint64(m.Seed) + 4)
+	for e := 0; e < m.Epochs; e++ {
+		for i, x := range d.X {
+			ctx := m.context(x)
+			arm := m.chooseArm(ctx)
+			if float64(rng.next()%1000)/1000 < m.Epsilon {
+				arm = int(rng.next() % 2)
+			}
+			rw := 0.0
+			if float64(arm) == d.Y[i] {
+				rw = 1
+			}
+			rs := m.rewards[ctx]
+			rs[arm].sum += rw
+			rs[arm].n++
+			m.rewards[ctx] = rs
+			m.global[arm].sum += rw
+			m.global[arm].n++
+		}
+	}
+	return nil
+}
+
+func (m *Bandit) fitCuts(d *Dataset) {
+	nf := d.Features()
+	m.cuts = make([][]float64, nf)
+	for f := 0; f < nf; f++ {
+		lo, hi := d.X[0][f], d.X[0][f]
+		for _, row := range d.X {
+			if row[f] < lo {
+				lo = row[f]
+			}
+			if row[f] > hi {
+				hi = row[f]
+			}
+		}
+		cuts := make([]float64, m.BinsPerFeature-1)
+		for c := range cuts {
+			cuts[c] = lo + (hi-lo)*float64(c+1)/float64(m.BinsPerFeature)
+		}
+		m.cuts[f] = cuts
+	}
+}
+
+func (m *Bandit) context(x []float64) uint32 {
+	h := uint32(2166136261)
+	for f, v := range x {
+		b := uint32(0)
+		for _, c := range m.cuts[f] {
+			if v > c {
+				b++
+			}
+		}
+		h = (h ^ b) * 16777619
+	}
+	return h & 0xFFFF
+}
+
+func (m *Bandit) chooseArm(ctx uint32) int {
+	rs, ok := m.rewards[ctx]
+	if !ok || rs[0].n+rs[1].n == 0 {
+		if m.global[1].value() > m.global[0].value() {
+			return 1
+		}
+		return 0
+	}
+	if rs[1].value() > rs[0].value() {
+		return 1
+	}
+	return 0
+}
+
+// Predict implements Classifier.
+func (m *Bandit) Predict(x []float64) float64 {
+	if m.rewards == nil {
+		return 0.5
+	}
+	ctx := m.context(x)
+	rs, ok := m.rewards[ctx]
+	if !ok || rs[0].n+rs[1].n < 2 {
+		rs = m.global
+	}
+	// Score: confidence that arm 1 (positive class) is right.
+	p0, p1 := rs[0].value(), rs[1].value()
+	if p0+p1 == 0 {
+		return 0.5
+	}
+	// Arm k's value estimates P(label==k | pulled k); translate into a
+	// positive-class score.
+	return (p1 + (1 - p0)) / 2
+}
+
+// splitMix is a tiny deterministic PRNG so the bandit does not drag in
+// math/rand state.
+type splitMix struct{ s uint64 }
+
+func newSplitMix(seed uint64) *splitMix { return &splitMix{s: seed + 0x9E3779B97F4A7C15} }
+
+func (r *splitMix) next() uint64 {
+	r.s += 0x9E3779B97F4A7C15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}

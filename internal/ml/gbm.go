@@ -1,0 +1,117 @@
+package ml
+
+import (
+	"errors"
+	"math"
+)
+
+// GBM is a gradient boosting machine over regression trees. With the
+// logistic loss it is the Figure-4 GBM classifier; with the squared loss
+// it is the regression model LRB trains to predict next-access distances.
+type GBM struct {
+	// Trees is the ensemble size (default 50).
+	Trees int
+	// Depth is the per-tree depth (default 4).
+	Depth int
+	// LR is the shrinkage (default 0.1).
+	LR float64
+	// MinLeaf is the minimum samples per leaf (default 8).
+	MinLeaf int
+	// Squared selects squared loss (regression) instead of logistic.
+	Squared bool
+
+	base  float64
+	trees []*RegressionTree
+}
+
+// Name implements Classifier.
+func (m *GBM) Name() string { return "GBM" }
+
+func (m *GBM) defaults() {
+	if m.Trees <= 0 {
+		m.Trees = 50
+	}
+	if m.Depth <= 0 {
+		m.Depth = 4
+	}
+	if m.LR <= 0 {
+		m.LR = 0.1
+	}
+	if m.MinLeaf <= 0 {
+		m.MinLeaf = 8
+	}
+}
+
+// Fit implements Classifier (logistic loss unless Squared is set).
+func (m *GBM) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	return m.FitRegression(d.X, d.Y)
+}
+
+// FitRegression trains on raw targets. With the logistic loss targets must
+// be 0/1; with Squared they may be arbitrary.
+func (m *GBM) FitRegression(X [][]float64, y []float64) error {
+	if len(X) == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	m.defaults()
+	m.trees = m.trees[:0]
+	n := len(y)
+	// Base score.
+	s := 0.0
+	for _, v := range y {
+		s += v
+	}
+	avg := s / float64(n)
+	if m.Squared {
+		m.base = avg
+	} else {
+		p := math.Min(math.Max(avg, 1e-6), 1-1e-6)
+		m.base = math.Log(p / (1 - p))
+	}
+	f := make([]float64, n)
+	for i := range f {
+		f[i] = m.base
+	}
+	resid := make([]float64, n)
+	for t := 0; t < m.Trees; t++ {
+		for i := range resid {
+			if m.Squared {
+				resid[i] = y[i] - f[i]
+			} else {
+				resid[i] = y[i] - sigmoid(f[i])
+			}
+		}
+		tree := &RegressionTree{MaxDepth: m.Depth, MinLeaf: m.MinLeaf}
+		tree.Fit(X, resid)
+		m.trees = append(m.trees, tree)
+		for i := range f {
+			f[i] += m.LR * tree.Predict(X[i])
+		}
+	}
+	return nil
+}
+
+// PredictRaw returns the raw additive score (log-odds for logistic loss,
+// the regression value for squared loss).
+func (m *GBM) PredictRaw(x []float64) float64 {
+	f := m.base
+	for _, t := range m.trees {
+		f += m.LR * t.Predict(x)
+	}
+	return f
+}
+
+// Predict implements Classifier: a probability for logistic loss, the raw
+// value for squared loss.
+func (m *GBM) Predict(x []float64) float64 {
+	if m.Squared {
+		return m.PredictRaw(x)
+	}
+	return sigmoid(m.PredictRaw(x))
+}
+
+// NumTrees reports the trained ensemble size.
+func (m *GBM) NumTrees() int { return len(m.trees) }

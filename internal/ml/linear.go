@@ -1,0 +1,241 @@
+package ml
+
+import (
+	"errors"
+	"math/rand"
+)
+
+// LinReg is ridge-regularised linear regression solved by the normal
+// equations (the feature counts in this repository are small). For binary
+// classification the regression output is thresholded at 0.5.
+type LinReg struct {
+	// L2 is the ridge penalty (default 1e-3).
+	L2 float64
+
+	w []float64 // last element is the bias
+}
+
+// Name implements Classifier.
+func (m *LinReg) Name() string { return "LinReg" }
+
+// Fit implements Classifier by solving (XᵀX + λI) w = XᵀY.
+func (m *LinReg) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if m.L2 <= 0 {
+		m.L2 = 1e-3
+	}
+	nf := d.Features() + 1 // plus bias
+	// Build the normal equations.
+	a := make([][]float64, nf)
+	for i := range a {
+		a[i] = make([]float64, nf+1)
+	}
+	row := make([]float64, nf)
+	for r, x := range d.X {
+		copy(row, x)
+		row[nf-1] = 1
+		for i := 0; i < nf; i++ {
+			for j := 0; j < nf; j++ {
+				a[i][j] += row[i] * row[j]
+			}
+			a[i][nf] += row[i] * d.Y[r]
+		}
+	}
+	for i := 0; i < nf; i++ {
+		a[i][i] += m.L2
+	}
+	w, err := solveGauss(a)
+	if err != nil {
+		return err
+	}
+	m.w = w
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *LinReg) Predict(x []float64) float64 {
+	if m.w == nil {
+		return 0.5
+	}
+	z := m.w[len(m.w)-1]
+	for i, v := range x {
+		z += m.w[i] * v
+	}
+	// Clamp the regression output into a score.
+	if z < 0 {
+		return 0
+	}
+	if z > 1 {
+		return 1
+	}
+	return z
+}
+
+// solveGauss solves the augmented system a (n × n+1) by Gaussian
+// elimination with partial pivoting.
+func solveGauss(a [][]float64) ([]float64, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		p := col
+		for r := col + 1; r < n; r++ {
+			if abs(a[r][col]) > abs(a[p][col]) {
+				p = r
+			}
+		}
+		if abs(a[p][col]) < 1e-12 {
+			return nil, errors.New("ml: singular system")
+		}
+		a[col], a[p] = a[p], a[col]
+		// Eliminate.
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a[r][col] / a[col][col]
+			for c := col; c <= n; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		w[i] = a[i][n] / a[i][i]
+	}
+	return w, nil
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// LogReg is L2-regularised logistic regression trained by mini-batch SGD.
+type LogReg struct {
+	// LR is the learning rate (default 0.1), Epochs the number of passes
+	// (default 50), L2 the weight decay (default 1e-4), Seed the
+	// shuffling seed.
+	LR     float64
+	Epochs int
+	L2     float64
+	Seed   int64
+
+	w []float64 // last element is the bias
+}
+
+// Name implements Classifier.
+func (m *LogReg) Name() string { return "LogReg" }
+
+// Fit implements Classifier.
+func (m *LogReg) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if m.LR <= 0 {
+		m.LR = 0.1
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 50
+	}
+	if m.L2 <= 0 {
+		m.L2 = 1e-4
+	}
+	nf := d.Features()
+	m.w = make([]float64, nf+1)
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	for e := 0; e < m.Epochs; e++ {
+		lr := m.LR / (1 + 0.05*float64(e))
+		for _, i := range rng.Perm(d.Len()) {
+			x := d.X[i]
+			z := m.w[nf] + dot(m.w[:nf], x)
+			g := sigmoid(z) - d.Y[i]
+			for j, v := range x {
+				m.w[j] -= lr * (g*v + m.L2*m.w[j])
+			}
+			m.w[nf] -= lr * g
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier.
+func (m *LogReg) Predict(x []float64) float64 {
+	if m.w == nil {
+		return 0.5
+	}
+	nf := len(m.w) - 1
+	return sigmoid(m.w[nf] + dot(m.w[:nf], x))
+}
+
+// SVM is a linear support vector machine trained by Pegasos-style SGD on
+// the hinge loss.
+type SVM struct {
+	// Lambda is the regularisation strength (default 1e-4), Epochs the
+	// number of passes (default 50), Seed the shuffling seed.
+	Lambda float64
+	Epochs int
+	Seed   int64
+
+	w []float64 // last element is the bias
+}
+
+// Name implements Classifier.
+func (m *SVM) Name() string { return "SVM" }
+
+// Fit implements Classifier.
+func (m *SVM) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1e-4
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 50
+	}
+	nf := d.Features()
+	m.w = make([]float64, nf+1)
+	rng := rand.New(rand.NewSource(m.Seed + 2))
+	t := 1
+	for e := 0; e < m.Epochs; e++ {
+		for _, i := range rng.Perm(d.Len()) {
+			lr := 1 / (m.Lambda * float64(t))
+			t++
+			x := d.X[i]
+			y := 2*d.Y[i] - 1 // {0,1} -> {-1,+1}
+			z := m.w[nf] + dot(m.w[:nf], x)
+			for j := range m.w[:nf] {
+				m.w[j] *= 1 - lr*m.Lambda
+			}
+			if y*z < 1 {
+				for j, v := range x {
+					m.w[j] += lr * y * v
+				}
+				m.w[nf] += lr * y * 0.1 // unregularised, smaller step
+			}
+		}
+	}
+	return nil
+}
+
+// Predict implements Classifier; the margin is squashed into [0,1].
+func (m *SVM) Predict(x []float64) float64 {
+	if m.w == nil {
+		return 0.5
+	}
+	nf := len(m.w) - 1
+	return sigmoid(2 * (m.w[nf] + dot(m.w[:nf], x)))
+}

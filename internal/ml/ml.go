@@ -1,0 +1,155 @@
+// Package ml provides the from-scratch machine-learning models the paper
+// evaluates in Figure 4 (linear regression, logistic regression, linear
+// SVM, a fully connected neural network, gradient boosting, and a
+// multi-armed-bandit classifier) plus the regression trees and GBM used by
+// the LRB and GL-Cache substrates. Everything is stdlib-only and
+// deterministic given a seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Dataset is a design matrix with binary labels (0 or 1).
+type Dataset struct {
+	X [][]float64
+	Y []float64
+}
+
+// Len returns the number of rows.
+func (d *Dataset) Len() int { return len(d.X) }
+
+// Features returns the number of columns, or 0 for an empty set.
+func (d *Dataset) Features() int {
+	if len(d.X) == 0 {
+		return 0
+	}
+	return len(d.X[0])
+}
+
+// Validate checks shape consistency.
+func (d *Dataset) Validate() error {
+	if len(d.X) != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	}
+	nf := d.Features()
+	for i, row := range d.X {
+		if len(row) != nf {
+			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), nf)
+		}
+	}
+	return nil
+}
+
+// Split partitions the dataset into train and test sets with the given
+// train fraction, shuffling deterministically with seed.
+func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
+	rng := rand.New(rand.NewSource(seed))
+	idx := rng.Perm(len(d.X))
+	n := int(trainFrac * float64(len(d.X)))
+	train, test = &Dataset{}, &Dataset{}
+	for i, j := range idx {
+		if i < n {
+			train.X = append(train.X, d.X[j])
+			train.Y = append(train.Y, d.Y[j])
+		} else {
+			test.X = append(test.X, d.X[j])
+			test.Y = append(test.Y, d.Y[j])
+		}
+	}
+	return train, test
+}
+
+// Standardize scales features to zero mean and unit variance in place and
+// returns the per-feature means and standard deviations so test data can
+// be transformed consistently.
+func (d *Dataset) Standardize() (mean, std []float64) {
+	nf := d.Features()
+	mean = make([]float64, nf)
+	std = make([]float64, nf)
+	n := float64(len(d.X))
+	if n == 0 {
+		return mean, std
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= n
+	}
+	for _, row := range d.X {
+		for j, v := range row {
+			dv := v - mean[j]
+			std[j] += dv * dv
+		}
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	d.ApplyScaling(mean, std)
+	return mean, std
+}
+
+// ApplyScaling transforms features in place with the given statistics.
+func (d *Dataset) ApplyScaling(mean, std []float64) {
+	for _, row := range d.X {
+		for j := range row {
+			row[j] = (row[j] - mean[j]) / std[j]
+		}
+	}
+}
+
+// Classifier is a trainable binary classifier. Predict returns a score in
+// [0, 1]; >= 0.5 is interpreted as the positive class.
+type Classifier interface {
+	// Name identifies the model in Figure-4 tables.
+	Name() string
+	// Fit trains on the dataset.
+	Fit(d *Dataset) error
+	// Predict scores one feature vector.
+	Predict(x []float64) float64
+}
+
+// Accuracy returns the fraction of correct binary decisions on d.
+func Accuracy(c Classifier, d *Dataset) float64 {
+	if d.Len() == 0 {
+		return 0
+	}
+	correct := 0
+	for i, x := range d.X {
+		pred := 0.0
+		if c.Predict(x) >= 0.5 {
+			pred = 1
+		}
+		if pred == d.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(d.Len())
+}
+
+func sigmoid(z float64) float64 {
+	// Clamp to keep Exp in range; beyond ±30 the result saturates anyway.
+	if z > 30 {
+		return 1
+	}
+	if z < -30 {
+		return 0
+	}
+	return 1 / (1 + math.Exp(-z))
+}
+
+func dot(w, x []float64) float64 {
+	s := 0.0
+	for i, v := range x {
+		s += w[i] * v
+	}
+	return s
+}

@@ -1,0 +1,150 @@
+package ml
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+)
+
+// NN is a fully connected neural network with one ReLU hidden layer and a
+// sigmoid output, trained by mini-batch SGD with momentum — the "NN with
+// 1024 neurons" baseline of Figure 4 (the hidden width is configurable;
+// the experiment harness uses a smaller width at reduced trace scales to
+// keep runtimes proportionate).
+type NN struct {
+	// Hidden is the hidden-layer width (default 64).
+	Hidden int
+	// LR is the learning rate (default 0.05).
+	LR float64
+	// Epochs is the number of passes (default 30).
+	Epochs int
+	// Batch is the mini-batch size (default 32).
+	Batch int
+	// Momentum is the SGD momentum (default 0.9).
+	Momentum float64
+	// Seed fixes initialisation and shuffling.
+	Seed int64
+
+	w1 [][]float64 // [hidden][in+1]
+	w2 []float64   // [hidden+1]
+}
+
+// Name implements Classifier.
+func (m *NN) Name() string { return "NN" }
+
+// Fit implements Classifier.
+func (m *NN) Fit(d *Dataset) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	if d.Len() == 0 {
+		return errors.New("ml: empty dataset")
+	}
+	if m.Hidden <= 0 {
+		m.Hidden = 64
+	}
+	if m.LR <= 0 {
+		m.LR = 0.05
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 30
+	}
+	if m.Batch <= 0 {
+		m.Batch = 32
+	}
+	if m.Momentum <= 0 {
+		m.Momentum = 0.9
+	}
+	nf := d.Features()
+	rng := rand.New(rand.NewSource(m.Seed + 3))
+	scale := math.Sqrt(2 / float64(nf+1))
+	m.w1 = make([][]float64, m.Hidden)
+	v1 := make([][]float64, m.Hidden)
+	for h := range m.w1 {
+		m.w1[h] = make([]float64, nf+1)
+		v1[h] = make([]float64, nf+1)
+		for j := range m.w1[h] {
+			m.w1[h][j] = rng.NormFloat64() * scale
+		}
+	}
+	m.w2 = make([]float64, m.Hidden+1)
+	v2 := make([]float64, m.Hidden+1)
+	for j := range m.w2 {
+		m.w2[j] = rng.NormFloat64() * math.Sqrt(2/float64(m.Hidden+1))
+	}
+
+	hidden := make([]float64, m.Hidden)
+	g2 := make([]float64, m.Hidden+1)
+	g1 := make([][]float64, m.Hidden)
+	for h := range g1 {
+		g1[h] = make([]float64, nf+1)
+	}
+	for e := 0; e < m.Epochs; e++ {
+		perm := rng.Perm(d.Len())
+		for start := 0; start < len(perm); start += m.Batch {
+			end := start + m.Batch
+			if end > len(perm) {
+				end = len(perm)
+			}
+			for j := range g2 {
+				g2[j] = 0
+			}
+			for h := range g1 {
+				for j := range g1[h] {
+					g1[h][j] = 0
+				}
+			}
+			for _, i := range perm[start:end] {
+				x := d.X[i]
+				out := m.forward(x, hidden)
+				delta := out - d.Y[i]
+				for h := 0; h < m.Hidden; h++ {
+					g2[h] += delta * hidden[h]
+					if hidden[h] > 0 { // ReLU gradient
+						dh := delta * m.w2[h]
+						for j, v := range x {
+							g1[h][j] += dh * v
+						}
+						g1[h][nf] += dh
+					}
+				}
+				g2[m.Hidden] += delta
+			}
+			n := float64(end - start)
+			for j := range m.w2 {
+				v2[j] = m.Momentum*v2[j] - m.LR*g2[j]/n
+				m.w2[j] += v2[j]
+			}
+			for h := range m.w1 {
+				for j := range m.w1[h] {
+					v1[h][j] = m.Momentum*v1[h][j] - m.LR*g1[h][j]/n
+					m.w1[h][j] += v1[h][j]
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (m *NN) forward(x []float64, hidden []float64) float64 {
+	nf := len(x)
+	z := m.w2[m.Hidden]
+	for h := 0; h < m.Hidden; h++ {
+		a := m.w1[h][nf] + dot(m.w1[h][:nf], x)
+		if a < 0 {
+			a = 0
+		}
+		hidden[h] = a
+		z += m.w2[h] * a
+	}
+	return sigmoid(z)
+}
+
+// Predict implements Classifier.
+func (m *NN) Predict(x []float64) float64 {
+	if m.w1 == nil {
+		return 0.5
+	}
+	hidden := make([]float64, m.Hidden)
+	return m.forward(x, hidden)
+}

@@ -1,0 +1,174 @@
+package ml
+
+// RegressionTree is a CART regression tree with histogram-based splits,
+// used standalone by the DTA baseline and as the weak learner inside GBM.
+type RegressionTree struct {
+	// MaxDepth limits tree depth (default 4).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 8).
+	MinLeaf int
+	// Bins is the number of histogram bins per feature (default 32).
+	Bins int
+
+	root *treeNode
+}
+
+type treeNode struct {
+	feature   int
+	threshold float64
+	left      *treeNode
+	right     *treeNode
+	value     float64
+	leaf      bool
+}
+
+// FitWeighted grows the tree on rows X with targets y. idx selects the
+// rows to use (nil means all).
+func (t *RegressionTree) FitWeighted(X [][]float64, y []float64, idx []int) {
+	if t.MaxDepth <= 0 {
+		t.MaxDepth = 4
+	}
+	if t.MinLeaf <= 0 {
+		t.MinLeaf = 8
+	}
+	if t.Bins <= 0 {
+		t.Bins = 32
+	}
+	if idx == nil {
+		idx = make([]int, len(X))
+		for i := range idx {
+			idx[i] = i
+		}
+	}
+	t.root = t.grow(X, y, idx, 0)
+}
+
+// Fit grows the tree on the full dataset.
+func (t *RegressionTree) Fit(X [][]float64, y []float64) { t.FitWeighted(X, y, nil) }
+
+func mean(y []float64, idx []int) float64 {
+	if len(idx) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, i := range idx {
+		s += y[i]
+	}
+	return s / float64(len(idx))
+}
+
+func (t *RegressionTree) grow(X [][]float64, y []float64, idx []int, depth int) *treeNode {
+	if depth >= t.MaxDepth || len(idx) < 2*t.MinLeaf {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	feature, threshold, ok := t.bestSplit(X, y, idx)
+	if !ok {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	var left, right []int
+	for _, i := range idx {
+		if X[i][feature] <= threshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < t.MinLeaf || len(right) < t.MinLeaf {
+		return &treeNode{leaf: true, value: mean(y, idx)}
+	}
+	return &treeNode{
+		feature:   feature,
+		threshold: threshold,
+		left:      t.grow(X, y, left, depth+1),
+		right:     t.grow(X, y, right, depth+1),
+	}
+}
+
+// bestSplit scans histogram bins of every feature for the split with the
+// highest variance reduction.
+func (t *RegressionTree) bestSplit(X [][]float64, y []float64, idx []int) (feature int, threshold float64, ok bool) {
+	nf := len(X[idx[0]])
+	bestGain := 1e-12
+	totalSum, totalCnt := 0.0, float64(len(idx))
+	for _, i := range idx {
+		totalSum += y[i]
+	}
+	sums := make([]float64, t.Bins)
+	cnts := make([]float64, t.Bins)
+	for f := 0; f < nf; f++ {
+		lo, hi := X[idx[0]][f], X[idx[0]][f]
+		for _, i := range idx {
+			v := X[i][f]
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi <= lo {
+			continue
+		}
+		for b := range sums {
+			sums[b], cnts[b] = 0, 0
+		}
+		scale := float64(t.Bins) / (hi - lo)
+		for _, i := range idx {
+			b := int((X[i][f] - lo) * scale)
+			if b >= t.Bins {
+				b = t.Bins - 1
+			}
+			sums[b] += y[i]
+			cnts[b]++
+		}
+		leftSum, leftCnt := 0.0, 0.0
+		for b := 0; b < t.Bins-1; b++ {
+			leftSum += sums[b]
+			leftCnt += cnts[b]
+			rightCnt := totalCnt - leftCnt
+			if leftCnt == 0 || rightCnt == 0 {
+				continue
+			}
+			rightSum := totalSum - leftSum
+			// Variance reduction ∝ Σ n_k·mean_k² − n·mean².
+			gain := leftSum*leftSum/leftCnt + rightSum*rightSum/rightCnt - totalSum*totalSum/totalCnt
+			if gain > bestGain {
+				bestGain = gain
+				feature = f
+				threshold = lo + float64(b+1)/scale
+				ok = true
+			}
+		}
+	}
+	return feature, threshold, ok
+}
+
+// Predict returns the leaf value for x (0 before Fit).
+func (t *RegressionTree) Predict(x []float64) float64 {
+	n := t.root
+	if n == nil {
+		return 0
+	}
+	for !n.leaf {
+		if x[n.feature] <= n.threshold {
+			n = n.left
+		} else {
+			n = n.right
+		}
+	}
+	return n.value
+}
+
+// Depth reports the realised tree depth (diagnostics).
+func (t *RegressionTree) Depth() int { return depthOf(t.root) }
+
+func depthOf(n *treeNode) int {
+	if n == nil || n.leaf {
+		return 0
+	}
+	l, r := depthOf(n.left), depthOf(n.right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

@@ -1,0 +1,83 @@
+package policies
+
+import (
+	"math/bits"
+	"math/rand"
+
+	"github.com/scip-cache/scip/internal/cache"
+)
+
+// DAAIP is the deadblock-aware adaptive insertion policy (Mahto et al.).
+// It predicts dead-on-arrival objects from per-class dead/live history and
+// adapts the aggressiveness of LRU insertion: each size class keeps a
+// saturating dead counter (incremented when a class member is evicted
+// without reuse, decremented on a hit), and predicted-dead insertions go
+// to the LRU position with an escape probability so mispredictions can
+// recover — the adaptive component of the original proposal.
+type DAAIP struct {
+	// Classes is the number of size classes (default 32).
+	Classes int
+	// DeadMax saturates the per-class counters (default 15).
+	DeadMax int
+	// Threshold is the dead-count at which a class is predicted dead
+	// (default 12).
+	Threshold int
+	// Escape is the probability a predicted-dead insertion still goes to
+	// MRU (default 1/16).
+	Escape float64
+	// Seed fixes the PRNG.
+	Seed int64
+
+	counters []int
+	rng      *rand.Rand
+}
+
+// NewDAAIP returns a DAAIP with the default configuration.
+func NewDAAIP(seed int64) *DAAIP {
+	d := &DAAIP{Classes: 32, DeadMax: 15, Threshold: 12, Escape: 1.0 / 16, Seed: seed}
+	d.counters = make([]int, d.Classes)
+	d.rng = rand.New(rand.NewSource(seed + 307))
+	return d
+}
+
+// Name implements cache.InsertionPolicy.
+func (d *DAAIP) Name() string { return "DAAIP" }
+
+func (d *DAAIP) class(size int64) int {
+	c := bits.Len64(uint64(size))
+	if c >= d.Classes {
+		c = d.Classes - 1
+	}
+	return c
+}
+
+// OnAccess implements cache.InsertionPolicy.
+func (d *DAAIP) OnAccess(req cache.Request, hit bool) {
+	if hit {
+		c := d.class(req.Size)
+		if d.counters[c] > 0 {
+			d.counters[c]--
+		}
+	}
+}
+
+// OnEvict implements cache.InsertionPolicy.
+func (d *DAAIP) OnEvict(ev cache.EvictInfo) {
+	if !ev.EverHit {
+		c := d.class(ev.Size)
+		if d.counters[c] < d.DeadMax {
+			d.counters[c]++
+		}
+	}
+}
+
+// ChooseInsert implements cache.InsertionPolicy.
+func (d *DAAIP) ChooseInsert(req cache.Request) cache.Position {
+	if d.counters[d.class(req.Size)] >= d.Threshold && d.rng.Float64() >= d.Escape {
+		return cache.LRU
+	}
+	return cache.MRU
+}
+
+// ChoosePromote implements cache.InsertionPolicy (DAAIP promotes to MRU).
+func (d *DAAIP) ChoosePromote(cache.Request) cache.Position { return cache.MRU }

@@ -1,0 +1,75 @@
+package policies
+
+import (
+	"math/rand"
+
+	"github.com/scip-cache/scip/internal/cache"
+)
+
+// DIP is the dynamic insertion policy (Qureshi et al.): set dueling
+// between MIP and BIP with a saturating policy-selection counter. For a
+// single queue the dueling sets become sampled ghost caches
+// (cache.DuelMonitor); PSEL accumulates their per-window verdicts and the
+// winning expert drives insertions.
+type DIP struct {
+	// Window is the dueling window in requests (default 4096).
+	Window int
+	// PSELMax bounds the saturating counter (default 32).
+	PSELMax int
+	// Seed fixes BIP's PRNG.
+	Seed int64
+
+	monitor *cache.DuelMonitor
+	bip     *BIP
+	psel    int // positive favours MIP, negative favours BIP
+	reqs    int
+	rng     *rand.Rand
+}
+
+// NewDIP returns a DIP for a cache of capBytes capacity.
+func NewDIP(capBytes int64, seed int64) *DIP {
+	return &DIP{
+		Window:  4096,
+		PSELMax: 32,
+		Seed:    seed,
+		monitor: cache.NewDuelMonitor(capBytes, 1.0/8, 7),
+		bip:     NewBIP(seed),
+		rng:     rand.New(rand.NewSource(seed + 211)),
+	}
+}
+
+// Name implements cache.InsertionPolicy.
+func (d *DIP) Name() string { return "DIP" }
+
+// OnAccess implements cache.InsertionPolicy.
+func (d *DIP) OnAccess(req cache.Request, hit bool) {
+	d.monitor.Observe(req)
+	d.reqs++
+	if d.reqs%d.Window == 0 {
+		v := d.monitor.Verdict()
+		switch {
+		case v > 0 && d.psel < d.PSELMax:
+			d.psel++
+		case v < 0 && d.psel > -d.PSELMax:
+			d.psel--
+		}
+	}
+}
+
+// ChooseInsert implements cache.InsertionPolicy: follow the dueling
+// winner (MIP when PSEL >= 0, BIP otherwise).
+func (d *DIP) ChooseInsert(req cache.Request) cache.Position {
+	if d.psel >= 0 {
+		return cache.MRU
+	}
+	return d.bip.ChooseInsert(req)
+}
+
+// ChoosePromote implements cache.InsertionPolicy (DIP promotes to MRU).
+func (d *DIP) ChoosePromote(cache.Request) cache.Position { return cache.MRU }
+
+// OnEvict implements cache.InsertionPolicy.
+func (d *DIP) OnEvict(cache.EvictInfo) {}
+
+// PSEL exposes the selector state for tests.
+func (d *DIP) PSEL() int { return d.psel }

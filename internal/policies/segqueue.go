@@ -1,0 +1,145 @@
+package policies
+
+import "github.com/scip-cache/scip/internal/cache"
+
+// SegQueue approximates positional insertion into an LRU queue by
+// maintaining NumSegments byte-balanced segments. Inserting "at position
+// k/N of the queue" becomes an O(1) push onto segment k, and a PIPP-style
+// single-step promotion moves an entry one place toward the MRU end
+// (possibly crossing a segment boundary). Rebalancing shifts boundary
+// entries between adjacent segments and is amortised O(1) per operation.
+// Segment 0 is the MRU end. An entry's segment lives in Entry.Class.
+type SegQueue struct {
+	segs  []cache.Queue
+	index map[uint64]*cache.Entry
+	bytes int64
+}
+
+// NumSegments is the positional granularity of a SegQueue.
+const NumSegments = 8
+
+// NewSegQueue returns an empty segmented queue.
+func NewSegQueue() *SegQueue {
+	return &SegQueue{
+		segs:  make([]cache.Queue, NumSegments),
+		index: make(map[uint64]*cache.Entry),
+	}
+}
+
+// Len returns the number of entries.
+func (s *SegQueue) Len() int { return len(s.index) }
+
+// Bytes returns the total bytes stored.
+func (s *SegQueue) Bytes() int64 { return s.bytes }
+
+// Get returns the entry for key, or nil.
+func (s *SegQueue) Get(key uint64) *cache.Entry { return s.index[key] }
+
+// InsertAt places e at the front of segment seg (clamped to the valid
+// range). e must not already be present.
+func (s *SegQueue) InsertAt(e *cache.Entry, seg int) {
+	if seg < 0 {
+		seg = 0
+	}
+	if seg >= NumSegments {
+		seg = NumSegments - 1
+	}
+	e.Class = seg
+	s.segs[seg].PushFront(e)
+	s.index[e.Key] = e
+	s.bytes += e.Size
+	s.rebalance()
+}
+
+// Remove unlinks e.
+func (s *SegQueue) Remove(e *cache.Entry) {
+	s.segs[e.Class].Remove(e)
+	delete(s.index, e.Key)
+	s.bytes -= e.Size
+	s.rebalance()
+}
+
+// EvictBack removes and returns the globally least-recent entry, or nil
+// when empty.
+func (s *SegQueue) EvictBack() *cache.Entry {
+	for k := NumSegments - 1; k >= 0; k-- {
+		if e := s.segs[k].Back(); e != nil {
+			s.segs[k].Remove(e)
+			delete(s.index, e.Key)
+			s.bytes -= e.Size
+			s.rebalance()
+			return e
+		}
+	}
+	return nil
+}
+
+// StepUp moves e one position toward the MRU end: within its segment, or
+// by swapping with its global predecessor when it is already at its
+// segment's front (a swap keeps the segment byte balance, so rebalancing
+// cannot immediately undo the promotion). At the global front it is a
+// no-op.
+func (s *SegQueue) StepUp(e *cache.Entry) {
+	seg := e.Class
+	if s.segs[seg].Front() != e {
+		s.segs[seg].MoveTowardFront(e)
+		return
+	}
+	prev := seg - 1
+	for prev >= 0 && s.segs[prev].Len() == 0 {
+		prev--
+	}
+	if prev < 0 {
+		return
+	}
+	pred := s.segs[prev].Back()
+	s.segs[prev].Remove(pred)
+	s.segs[seg].Remove(e)
+	e.Class = prev
+	s.segs[prev].PushBack(e)
+	pred.Class = seg
+	s.segs[seg].PushFront(pred)
+}
+
+// MoveToFront moves e to the global MRU position.
+func (s *SegQueue) MoveToFront(e *cache.Entry) {
+	s.segs[e.Class].Remove(e)
+	e.Class = 0
+	s.segs[0].PushFront(e)
+	s.rebalance()
+}
+
+// rebalance nudges boundary entries so segment byte sizes stay within a
+// quarter-target of each other, preserving global order.
+func (s *SegQueue) rebalance() {
+	target := s.bytes / NumSegments
+	slack := target/4 + 1
+	for k := 0; k < NumSegments-1; k++ {
+		for s.segs[k].Bytes() > target+slack {
+			e := s.segs[k].Back()
+			if e == nil {
+				break
+			}
+			s.segs[k].Remove(e)
+			e.Class = k + 1
+			s.segs[k+1].PushFront(e)
+		}
+		for s.segs[k].Bytes() < target-slack && s.segs[k+1].Len() > 0 {
+			e := s.segs[k+1].Front()
+			s.segs[k+1].Remove(e)
+			e.Class = k
+			s.segs[k].PushBack(e)
+		}
+	}
+}
+
+// keysInOrder returns all keys from MRU to LRU (test helper).
+func (s *SegQueue) keysInOrder() []uint64 {
+	var out []uint64
+	for k := 0; k < NumSegments; k++ {
+		for e := s.segs[k].Front(); e != nil; e = e.Next() {
+			out = append(out, e.Key)
+		}
+	}
+	return out
+}

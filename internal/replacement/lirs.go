@@ -1,0 +1,219 @@
+package replacement
+
+import "github.com/scip-cache/scip/internal/cache"
+
+// LIRS implements the Low Inter-reference Recency Set policy (Jiang &
+// Zhang, cited by the paper's related work) adapted to byte budgets. The
+// cache is split into a large LIR region (low inter-reference recency:
+// proven re-users) and a small HIR region; the S stack tracks recency of
+// LIR blocks, resident HIR blocks and a bounded set of non-resident HIR
+// ghosts, while the Q list orders resident HIR blocks for eviction. A
+// resident HIR block that is re-referenced while still on S has
+// demonstrated a low IRR and is promoted to LIR, demoting the LIR block
+// at the stack bottom.
+type LIRS struct {
+	// LIRFrac is the LIR region's share of capacity (default 0.9).
+	LIRFrac float64
+
+	name  string
+	cap   int64
+	s     cache.Queue // recency stack: LIR + resident HIR + ghosts
+	q     cache.Queue // resident HIR eviction order
+	sIdx  map[uint64]*cache.Entry
+	qIdx  map[uint64]*cache.Entry
+	state map[uint64]int // lirsLIR / lirsHIR for resident objects
+	sizes map[uint64]int64
+	lir   int64 // LIR resident bytes
+	hir   int64 // HIR resident bytes
+}
+
+// Object states.
+const (
+	lirsLIR = 1
+	lirsHIR = 2
+)
+
+// Entry.Class marks ghost stack entries.
+const lirsGhost = 9
+
+var _ cache.Policy = (*LIRS)(nil)
+
+// NewLIRS returns a LIRS cache.
+func NewLIRS(capBytes int64) *LIRS {
+	return &LIRS{
+		LIRFrac: 0.9,
+		name:    "LIRS",
+		cap:     capBytes,
+		sIdx:    make(map[uint64]*cache.Entry),
+		qIdx:    make(map[uint64]*cache.Entry),
+		state:   make(map[uint64]int),
+		sizes:   make(map[uint64]int64),
+	}
+}
+
+// Name implements cache.Policy.
+func (l *LIRS) Name() string { return l.name }
+
+// Capacity implements cache.Policy.
+func (l *LIRS) Capacity() int64 { return l.cap }
+
+// Used implements cache.Policy.
+func (l *LIRS) Used() int64 { return l.lir + l.hir }
+
+func (l *LIRS) lirCap() int64 { return int64(l.LIRFrac * float64(l.cap)) }
+
+// Access implements cache.Policy.
+func (l *LIRS) Access(req cache.Request) bool {
+	st := l.state[req.Key]
+	switch st {
+	case lirsLIR:
+		l.touchS(req)
+		l.pruneS()
+		return true
+	case lirsHIR:
+		if _, onS := l.sIdx[req.Key]; onS {
+			// Low IRR demonstrated: promote HIR -> LIR.
+			l.promoteToLIR(req)
+		} else {
+			// Re-referenced but off the stack: stay HIR, refresh Q and S.
+			l.touchQ(req)
+			l.touchS(req)
+		}
+		return true
+	}
+	// Miss.
+	if req.Size > l.cap || req.Size <= 0 {
+		return false
+	}
+	wasGhost := false
+	if e, onS := l.sIdx[req.Key]; onS && e.Class == lirsGhost {
+		wasGhost = true
+	}
+	l.makeRoom(req.Size)
+	if wasGhost || l.lir+req.Size <= l.lirCap() {
+		// Ghost hit (low IRR) or cold start with LIR headroom: insert
+		// as LIR.
+		l.state[req.Key] = lirsLIR
+		l.lir += req.Size
+		l.sizes[req.Key] = req.Size
+		l.touchS(req)
+		for l.lir > l.lirCap() {
+			l.demoteLIRBottom()
+		}
+	} else {
+		// Normal miss: resident HIR.
+		l.state[req.Key] = lirsHIR
+		l.hir += req.Size
+		l.sizes[req.Key] = req.Size
+		l.touchS(req)
+		l.touchQ(req)
+	}
+	l.pruneS()
+	return false
+}
+
+// touchS moves/pushes the key to the stack top as a resident entry.
+func (l *LIRS) touchS(req cache.Request) {
+	if e, ok := l.sIdx[req.Key]; ok {
+		l.s.Remove(e)
+	}
+	e := &cache.Entry{Key: req.Key, Size: req.Size, Class: 0}
+	l.s.PushFront(e)
+	l.sIdx[req.Key] = e
+}
+
+// touchQ moves/pushes the key to the front of the HIR queue.
+func (l *LIRS) touchQ(req cache.Request) {
+	if e, ok := l.qIdx[req.Key]; ok {
+		l.q.Remove(e)
+	}
+	e := &cache.Entry{Key: req.Key, Size: req.Size}
+	l.q.PushFront(e)
+	l.qIdx[req.Key] = e
+}
+
+// promoteToLIR turns a resident HIR block into LIR and rebalances.
+func (l *LIRS) promoteToLIR(req cache.Request) {
+	size := l.sizes[req.Key]
+	l.state[req.Key] = lirsLIR
+	l.hir -= size
+	l.lir += size
+	if e, ok := l.qIdx[req.Key]; ok {
+		l.q.Remove(e)
+		delete(l.qIdx, req.Key)
+	}
+	l.touchS(req)
+	for l.lir > l.lirCap() {
+		l.demoteLIRBottom()
+	}
+	l.pruneS()
+}
+
+// demoteLIRBottom turns the LIR block at the stack bottom into resident
+// HIR (front of Q).
+func (l *LIRS) demoteLIRBottom() {
+	for e := l.s.Back(); e != nil; e = l.s.Back() {
+		if l.state[e.Key] == lirsLIR && e.Class != lirsGhost {
+			size := l.sizes[e.Key]
+			l.state[e.Key] = lirsHIR
+			l.lir -= size
+			l.hir += size
+			l.s.Remove(e)
+			delete(l.sIdx, e.Key)
+			l.touchQ(cache.Request{Key: e.Key, Size: size})
+			return
+		}
+		// Non-LIR bottom entries are pruned.
+		l.s.Remove(e)
+		if e.Class != lirsGhost && l.state[e.Key] == 0 {
+			delete(l.sIdx, e.Key)
+			continue
+		}
+		delete(l.sIdx, e.Key)
+	}
+}
+
+// makeRoom evicts resident HIR blocks (back of Q) until size fits; their
+// stack entries become ghosts.
+func (l *LIRS) makeRoom(size int64) {
+	for l.Used()+size > l.cap {
+		victim := l.q.Back()
+		if victim == nil {
+			// No HIR residents: demote a LIR block first.
+			l.demoteLIRBottom()
+			if l.q.Back() == nil {
+				return
+			}
+			continue
+		}
+		l.q.Remove(victim)
+		delete(l.qIdx, victim.Key)
+		vsize := l.sizes[victim.Key]
+		l.hir -= vsize
+		delete(l.state, victim.Key)
+		delete(l.sizes, victim.Key)
+		// The stack entry, if any, becomes a non-resident ghost.
+		if se, ok := l.sIdx[victim.Key]; ok {
+			se.Class = lirsGhost
+		}
+	}
+}
+
+// pruneS removes non-LIR entries from the stack bottom (stack pruning)
+// and bounds the ghost population to roughly the cache's object count.
+func (l *LIRS) pruneS() {
+	for e := l.s.Back(); e != nil; e = l.s.Back() {
+		if l.state[e.Key] == lirsLIR && e.Class != lirsGhost {
+			break
+		}
+		l.s.Remove(e)
+		delete(l.sIdx, e.Key)
+	}
+	// Bound total stack entries (ghost cap): 4x the resident population.
+	limit := 4 * (len(l.state) + 16)
+	for l.s.Len() > limit {
+		e := l.s.Back()
+		l.s.Remove(e)
+		delete(l.sIdx, e.Key)
+	}
+}

@@ -1,0 +1,438 @@
+package replacement
+
+import (
+	"testing"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+func req(t int64, key uint64, size int64) cache.Request {
+	return cache.Request{Time: t, Key: key, Size: size}
+}
+
+func testTrace(t *testing.T, seed int64) *trace.Trace {
+	t.Helper()
+	tr, err := gen.Generate(gen.Config{
+		Name: "r", Seed: seed,
+		Requests:    60_000,
+		CatalogSize: 1200,
+		ZipfAlpha:   0.85,
+		OneHitFrac:  0.3,
+		EchoProb:    0.2, EchoDelay: 80, EchoTailFrac: 0.5,
+		EpochRequests: 20_000, DriftFrac: 0.1,
+		SizeMean: 1000, SizeSigma: 0.8, MinSize: 100, MaxSize: 10_000,
+		Duration: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func builders(capBytes int64) map[string]func() cache.Policy {
+	return map[string]func() cache.Policy{
+		"LRU-K":    func() cache.Policy { return NewLRUK(capBytes, 1) },
+		"S4LRU":    func() cache.Policy { return NewS4LRU(capBytes) },
+		"SS-LRU":   func() cache.Policy { return NewSSLRU(capBytes) },
+		"GDSF":     func() cache.Policy { return NewGDSF(capBytes) },
+		"LHD":      func() cache.Policy { return NewLHD(capBytes, 1) },
+		"ARC":      func() cache.Policy { return NewARC(capBytes) },
+		"LeCaR":    func() cache.Policy { return NewLeCaR(capBytes, 1) },
+		"CACHEUS":  func() cache.Policy { return NewCACHEUS(capBytes, 1) },
+		"GL-Cache": func() cache.Policy { return NewGLCache(capBytes) },
+	}
+}
+
+func TestAllReplacementPolicies(t *testing.T) {
+	capBytes := int64(300_000)
+	tr := testTrace(t, 9)
+	for name, build := range builders(capBytes) {
+		p := build()
+		hits := 0
+		for i, r := range tr.Requests {
+			if p.Access(r) {
+				hits++
+			}
+			if p.Used() > p.Capacity() {
+				t.Fatalf("%s: capacity exceeded at %d (%d > %d)", name, i, p.Used(), p.Capacity())
+			}
+		}
+		ratio := float64(hits) / float64(len(tr.Requests))
+		if ratio < 0.05 {
+			t.Errorf("%s: hit ratio %.3f suspiciously low", name, ratio)
+		}
+		// Immediate re-access must hit.
+		p2 := build()
+		p2.Access(req(0, 42, 500))
+		if !p2.Access(req(1, 42, 500)) {
+			t.Errorf("%s: immediate re-access missed", name)
+		}
+		// Oversized objects bypass.
+		p3 := build()
+		if p3.Access(req(0, 7, capBytes+1)) {
+			t.Errorf("%s: oversized access hit", name)
+		}
+		if p3.Used() != 0 {
+			t.Errorf("%s: oversized object admitted", name)
+		}
+	}
+}
+
+func TestStoreBasics(t *testing.T) {
+	s := NewStore[*lrukEntry](1)
+	a := &lrukEntry{key: 1, size: 10}
+	b := &lrukEntry{key: 2, size: 20}
+	s.Add(a)
+	s.Add(b)
+	if s.Len() != 2 || s.Bytes() != 30 {
+		t.Fatalf("Len=%d Bytes=%d", s.Len(), s.Bytes())
+	}
+	if got, ok := s.Get(1); !ok || got != a {
+		t.Fatal("Get(1) failed")
+	}
+	if _, ok := s.Remove(1); !ok {
+		t.Fatal("Remove(1) failed")
+	}
+	if _, ok := s.Get(1); ok {
+		t.Fatal("removed key still present")
+	}
+	if s.Bytes() != 20 {
+		t.Fatalf("Bytes=%d after removal", s.Bytes())
+	}
+	sample := s.Sample(5, nil)
+	if len(sample) != 5 {
+		t.Fatalf("Sample returned %d items", len(sample))
+	}
+	for _, it := range sample {
+		if it != b {
+			t.Fatal("sample returned foreign item")
+		}
+	}
+	count := 0
+	s.Each(func(*lrukEntry) { count++ })
+	if count != 1 {
+		t.Fatalf("Each visited %d", count)
+	}
+}
+
+func TestStorePanicsOnDuplicate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Add did not panic")
+		}
+	}()
+	s := NewStore[*lrukEntry](1)
+	s.Add(&lrukEntry{key: 1, size: 1})
+	s.Add(&lrukEntry{key: 1, size: 1})
+}
+
+func TestLRUKPrefersShortHistoryVictims(t *testing.T) {
+	l := NewLRUK(1000, 2)
+	l.SampleSize = 100 // exhaustive sampling for determinism
+	// Object 1 accessed twice (full history); objects 2..10 once.
+	l.Access(req(0, 1, 100))
+	l.Access(req(1, 1, 100))
+	for k := uint64(2); k <= 10; k++ {
+		l.Access(req(int64(k), k, 100))
+	}
+	// Cache full (10x100); next insert must evict a single-access object,
+	// not object 1.
+	l.Access(req(20, 99, 100))
+	if _, ok := l.store.Get(1); !ok {
+		t.Fatal("LRU-K evicted the only object with full history")
+	}
+}
+
+func TestLRUKSCIPIntegrationDemotes(t *testing.T) {
+	ins := forcedLRUIns{}
+	l := NewLRUKWithInsertion(1000, 3, ins)
+	if l.Name() != "LRU-K-forced" {
+		t.Fatalf("name = %q", l.Name())
+	}
+	l.Access(req(0, 1, 100))
+	e, _ := l.store.Get(1)
+	if !e.demoted {
+		t.Fatal("LRU-inserted object not demoted")
+	}
+	if l.kDistance(e) != -1 {
+		t.Fatal("demoted entry should rank infinitely old")
+	}
+}
+
+// forcedLRUIns always chooses the LRU position.
+type forcedLRUIns struct{}
+
+func (forcedLRUIns) Name() string                               { return "forced" }
+func (forcedLRUIns) ChooseInsert(cache.Request) cache.Position  { return cache.LRU }
+func (forcedLRUIns) ChoosePromote(cache.Request) cache.Position { return cache.LRU }
+func (forcedLRUIns) OnEvict(cache.EvictInfo)                    {}
+func (forcedLRUIns) OnAccess(cache.Request, bool)               {}
+
+func TestS4LRUPromotionSegments(t *testing.T) {
+	s := NewS4LRU(4000)
+	s.Access(req(0, 1, 100))
+	e := s.index[1]
+	if e.Class != 0 {
+		t.Fatalf("insert segment = %d, want 0", e.Class)
+	}
+	s.Access(req(1, 1, 100))
+	if e.Class != 1 {
+		t.Fatalf("after hit segment = %d, want 1", e.Class)
+	}
+	for i := 0; i < 5; i++ {
+		s.Access(req(int64(2+i), 1, 100))
+	}
+	if e.Class != 3 {
+		t.Fatalf("segment should saturate at 3, got %d", e.Class)
+	}
+}
+
+func TestSSLRUProtectedPromotion(t *testing.T) {
+	s := NewSSLRU(4000)
+	s.Access(req(0, 1, 100))
+	if s.index[1].Class != segProbation {
+		t.Fatal("new object should enter probation")
+	}
+	s.Access(req(1, 1, 100))
+	if s.index[1].Class != segProtected {
+		t.Fatal("reused object should be protected")
+	}
+}
+
+func TestGDSFFavorsSmallFrequent(t *testing.T) {
+	g := NewGDSF(10_000)
+	// A small frequent object and large cold objects.
+	for i := 0; i < 5; i++ {
+		g.Access(req(int64(i), 1, 100))
+	}
+	for k := uint64(2); k < 10; k++ {
+		g.Access(req(int64(10+k), k, 2000))
+	}
+	// Cache churns; the small frequent object must survive.
+	if _, ok := g.index[1]; !ok {
+		t.Fatal("GDSF evicted the small frequent object")
+	}
+	if g.Inflation() == 0 {
+		t.Fatal("inflation never advanced despite evictions")
+	}
+}
+
+func TestARCAdaptsP(t *testing.T) {
+	a := NewARC(2000)
+	// Fill T1 and force evictions into B1, then re-request: p must grow.
+	for k := uint64(1); k <= 40; k++ {
+		a.Access(req(int64(k), k, 100))
+	}
+	p0 := a.P()
+	a.Access(req(100, 1, 100)) // ghost hit in B1
+	if a.P() <= p0 {
+		t.Fatalf("p did not grow on B1 ghost hit: %d -> %d", p0, a.P())
+	}
+}
+
+func TestLeCaRWeightsAdapt(t *testing.T) {
+	l := NewLeCaR(1000, 4)
+	w0 := l.WeightLRU()
+	// Force a ghost hit in the LRU ghost list.
+	l.ghostLRU.Add(42, 100, cache.ResInserted)
+	l.Access(req(0, 42, 100))
+	if l.WeightLRU() >= w0 {
+		t.Fatalf("LRU weight did not decay on its ghost hit: %g -> %g", w0, l.WeightLRU())
+	}
+	w1 := l.WeightLRU()
+	l.ghostLFU.Add(43, 100, cache.ResInserted)
+	l.Access(req(1, 43, 100))
+	if l.WeightLRU() <= w1 {
+		t.Fatalf("LRU weight did not grow on LFU ghost hit: %g -> %g", w1, l.WeightLRU())
+	}
+}
+
+func TestCACHEUSUsesAdaptiveRate(t *testing.T) {
+	c := NewCACHEUS(1000, 4)
+	if c.Name() != "CACHEUS" || !c.adaptive || c.rate == nil {
+		t.Fatal("CACHEUS variant not configured")
+	}
+}
+
+func TestGLCacheGroupsSealAndDrain(t *testing.T) {
+	g := NewGLCache(10_000)
+	g.GroupObjects = 4
+	for k := uint64(1); k <= 9; k++ {
+		g.Access(req(int64(k), k, 100))
+	}
+	sealed := 0
+	for _, gr := range g.groups {
+		if gr.sealed {
+			sealed++
+		}
+	}
+	if sealed != 2 {
+		t.Fatalf("sealed groups = %d, want 2", sealed)
+	}
+	// Force evictions: groups must drain without accounting drift.
+	for k := uint64(100); k < 250; k++ {
+		g.Access(req(int64(k), k, 100))
+		if g.Used() > g.Capacity() {
+			t.Fatal("GL-Cache capacity exceeded")
+		}
+	}
+}
+
+func TestGLCacheTrainsModel(t *testing.T) {
+	g := NewGLCache(500_000)
+	g.TrainEvery = 2000
+	tr := testTrace(t, 12)
+	for _, r := range tr.Requests[:20_000] {
+		g.Access(r)
+	}
+	if g.model == nil {
+		t.Fatal("GL-Cache never trained its utility model")
+	}
+}
+
+func TestS4LRUWithInsertionMultiChain(t *testing.T) {
+	ins := forcedLRUIns{}
+	s := NewS4LRUWithInsertion(4000, ins)
+	if s.Name() != "S4LRU-forced" {
+		t.Fatalf("name = %q", s.Name())
+	}
+	// Forced-LRU insertion lands at the tail of segment 0: the very next
+	// eviction pressure removes it before older MRU-side objects.
+	s.Access(req(0, 1, 100))
+	if e := s.index[1]; e.InsertedMRU || e.Class != 0 {
+		t.Fatalf("forced insert misplaced: %+v", e)
+	}
+	if s.segs[0].Back().Key != 1 {
+		t.Fatal("forced insert not at segment-0 tail")
+	}
+	// Forced-LRU promotion demotes a hit object back to segment-0 tail.
+	s.Access(req(1, 1, 100))
+	e := s.index[1]
+	if e.Class != 0 || e.Residency != cache.ResFirstHit {
+		t.Fatalf("demoted promotion misrouted: %+v", e)
+	}
+	if s.segs[0].Back().Key != 1 {
+		t.Fatal("demoted promotion not at segment-0 tail")
+	}
+}
+
+func TestS4LRUWithInsertionEvictionCallback(t *testing.T) {
+	rec := &recordingIns{}
+	s := NewS4LRUWithInsertion(1000, rec)
+	for k := uint64(1); k <= 30; k++ {
+		s.Access(req(int64(k), k, 100))
+	}
+	if rec.evicts == 0 {
+		t.Fatal("insertion policy never observed evictions")
+	}
+	if s.Used() > s.Capacity() {
+		t.Fatal("capacity violated")
+	}
+}
+
+// recordingIns counts callbacks.
+type recordingIns struct{ evicts int }
+
+func (r *recordingIns) Name() string                              { return "rec" }
+func (r *recordingIns) ChooseInsert(cache.Request) cache.Position { return cache.MRU }
+func (r *recordingIns) ChoosePromote(cache.Request) cache.Position {
+	return cache.MRU
+}
+func (r *recordingIns) OnEvict(cache.EvictInfo)      { r.evicts++ }
+func (r *recordingIns) OnAccess(cache.Request, bool) {}
+
+func TestLIRSBasics(t *testing.T) {
+	l := NewLIRS(1000)
+	if l.Access(req(0, 1, 100)) {
+		t.Fatal("cold access hit")
+	}
+	if !l.Access(req(1, 1, 100)) {
+		t.Fatal("re-access missed")
+	}
+	if l.Access(req(2, 2, 2000)) {
+		t.Fatal("oversized hit")
+	}
+	if l.Used() != 100 {
+		t.Fatalf("Used=%d", l.Used())
+	}
+}
+
+func TestLIRSScanResistance(t *testing.T) {
+	// Hot set that fits in the LIR region, then a one-pass scan: the hot
+	// set must survive (LIRS's defining property vs LRU).
+	capBytes := int64(10_000)
+	l := NewLIRS(capBytes)
+	lru := cache.NewLRU(capBytes)
+	tick := int64(0)
+	access := func(k uint64) (bool, bool) {
+		tick++
+		return l.Access(req(tick, k, 500)), lru.Access(req(tick, k, 500))
+	}
+	// Warm 16 hot objects (8000 bytes) with two rounds.
+	for round := 0; round < 2; round++ {
+		for k := uint64(0); k < 16; k++ {
+			access(k)
+		}
+	}
+	// One-pass scan of 100 cold objects.
+	for k := uint64(1000); k < 1100; k++ {
+		access(k)
+	}
+	lirsHits, lruHits := 0, 0
+	for k := uint64(0); k < 16; k++ {
+		lh, uh := access(k)
+		if lh {
+			lirsHits++
+		}
+		if uh {
+			lruHits++
+		}
+	}
+	if lirsHits <= lruHits {
+		t.Fatalf("LIRS hot-set hits %d <= LRU %d after scan", lirsHits, lruHits)
+	}
+	if lirsHits < 12 {
+		t.Fatalf("LIRS kept only %d/16 hot objects through the scan", lirsHits)
+	}
+}
+
+func TestLIRSCapacityInvariant(t *testing.T) {
+	tr := testTrace(t, 21)
+	l := NewLIRS(250_000)
+	hits := 0
+	for i, r := range tr.Requests {
+		if l.Access(r) {
+			hits++
+		}
+		if l.Used() > l.Capacity() {
+			t.Fatalf("capacity exceeded at %d: %d > %d", i, l.Used(), l.Capacity())
+		}
+	}
+	if hits == 0 {
+		t.Fatal("no hits")
+	}
+}
+
+func TestLIRSGhostPromotion(t *testing.T) {
+	l := NewLIRS(2000)
+	l.LIRFrac = 0.5
+	// Fill LIR region.
+	for k := uint64(1); k <= 2; k++ {
+		l.Access(req(int64(k), k, 500))
+	}
+	// Object 9 enters as HIR, gets evicted, leaving a ghost.
+	l.Access(req(10, 9, 500))
+	for k := uint64(20); k < 24; k++ {
+		l.Access(req(int64(k+10), k, 500))
+	}
+	if l.state[9] != 0 {
+		t.Fatal("object 9 should have been evicted")
+	}
+	// Re-reference within ghost lifetime: must come back as LIR.
+	l.Access(req(100, 9, 500))
+	if l.state[9] != lirsLIR {
+		t.Fatalf("ghost re-reference state = %d, want LIR", l.state[9])
+	}
+}

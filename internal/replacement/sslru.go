@@ -1,0 +1,138 @@
+package replacement
+
+import (
+	"math/bits"
+
+	"github.com/scip-cache/scip/internal/cache"
+)
+
+// SSLRU is Smart Segmented LRU (Li et al., DAC'22): a probation/protected
+// segmented LRU whose admission and promotion are gated by a lightweight
+// reuse predictor. Our predictor follows the original's spirit with the
+// signals available in a CDN object cache: per-size-class reuse counters
+// (hit increments, dead eviction decrements). Objects of classes with no
+// predicted reuse enter the probation tail; reused objects move to the
+// protected segment, whose overflow demotes back to probation.
+type SSLRU struct {
+	// ProtectedFrac is the protected segment's share of capacity
+	// (default 0.75).
+	ProtectedFrac float64
+
+	name      string
+	cap       int64
+	probation cache.Queue
+	protected cache.Queue
+	index     map[uint64]*cache.Entry
+	classes   [40]int
+}
+
+var _ cache.Policy = (*SSLRU)(nil)
+
+// Segment ids for Entry.Class.
+const (
+	segProbation = 0
+	segProtected = 1
+)
+
+// NewSSLRU returns an SS-LRU cache.
+func NewSSLRU(capBytes int64) *SSLRU {
+	return &SSLRU{
+		ProtectedFrac: 0.75,
+		name:          "SS-LRU",
+		cap:           capBytes,
+		index:         make(map[uint64]*cache.Entry),
+	}
+}
+
+// Name implements cache.Policy.
+func (s *SSLRU) Name() string { return s.name }
+
+// Capacity implements cache.Policy.
+func (s *SSLRU) Capacity() int64 { return s.cap }
+
+// Used implements cache.Policy.
+func (s *SSLRU) Used() int64 { return s.probation.Bytes() + s.protected.Bytes() }
+
+func (s *SSLRU) class(size int64) int {
+	c := bits.Len64(uint64(size))
+	if c >= len(s.classes) {
+		c = len(s.classes) - 1
+	}
+	return c
+}
+
+// Access implements cache.Policy.
+func (s *SSLRU) Access(req cache.Request) bool {
+	if e, ok := s.index[req.Key]; ok {
+		e.Hits++
+		e.LastAccess = req.Time
+		c := s.class(req.Size)
+		if s.classes[c] < 16 {
+			s.classes[c]++
+		}
+		// Reused objects move (or refresh) into the protected segment.
+		if e.Class == segProtected {
+			s.protected.MoveToFront(e)
+		} else {
+			s.probation.Remove(e)
+			e.Class = segProtected
+			s.protected.PushFront(e)
+			s.balanceProtected()
+		}
+		return true
+	}
+	if req.Size > s.cap || req.Size <= 0 {
+		return false
+	}
+	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: segProbation}
+	s.index[req.Key] = e
+	// The smart admission: classes with no observed reuse enter at the
+	// probation tail, where the next eviction takes them.
+	if s.classes[s.class(req.Size)] <= 0 {
+		s.probation.PushBack(e)
+	} else {
+		s.probation.PushFront(e)
+	}
+	for s.Used() > s.cap {
+		s.evictOne()
+	}
+	return false
+}
+
+// balanceProtected demotes protected overflow back to probation's head.
+func (s *SSLRU) balanceProtected() {
+	limit := int64(s.ProtectedFrac * float64(s.cap))
+	for s.protected.Bytes() > limit {
+		tail := s.protected.Back()
+		s.protected.Remove(tail)
+		tail.Class = segProbation
+		s.probation.PushFront(tail)
+	}
+}
+
+func (s *SSLRU) evictOne() {
+	victim := s.probation.Back()
+	if victim == nil {
+		victim = s.protected.Back()
+		if victim == nil {
+			panic("replacement: evict from empty SS-LRU")
+		}
+		s.protected.Remove(victim)
+	} else {
+		s.probation.Remove(victim)
+	}
+	delete(s.index, victim.Key)
+	if victim.Hits == 0 {
+		c := s.class(victim.Size)
+		if s.classes[c] > -16 {
+			s.classes[c]--
+		}
+	}
+}
+
+// Reset implements cache.Resetter.
+func (s *SSLRU) Reset() {
+	s.probation, s.protected = cache.Queue{}, cache.Queue{}
+	clear(s.index)
+	s.classes = [40]int{}
+}

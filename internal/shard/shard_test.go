@@ -1,0 +1,153 @@
+package shard
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/sim"
+)
+
+func lruBuilder(capBytes int64, _ int) cache.Policy { return cache.NewLRU(capBytes) }
+
+func scipBuilder(capBytes int64, shard int) cache.Policy {
+	return core.NewCache(capBytes, core.WithSeed(int64(shard)+1), core.WithInterval(2000))
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New("x", 100, 4, nil); err == nil {
+		t.Fatal("nil builder accepted")
+	}
+	if _, err := New("x", 0, 4, lruBuilder); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+	if _, err := New("x", 100, 4, func(int64, int) cache.Policy { return nil }); err == nil {
+		t.Fatal("nil shard policy accepted")
+	}
+}
+
+func TestShardCountRoundsUp(t *testing.T) {
+	c, err := New("x", 1<<20, 5, lruBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shards() != 8 {
+		t.Fatalf("shards = %d, want 8", c.Shards())
+	}
+	if c.Capacity() != (1<<20)/8*8 {
+		t.Fatalf("capacity = %d", c.Capacity())
+	}
+}
+
+func TestBasicHitMiss(t *testing.T) {
+	c, err := New("x", 1<<20, 4, lruBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := cache.Request{Time: 1, Key: 42, Size: 100}
+	if c.Access(r) {
+		t.Fatal("cold access hit")
+	}
+	if !c.Access(r) {
+		t.Fatal("warm access missed")
+	}
+	if c.Used() != 100 {
+		t.Fatalf("Used = %d", c.Used())
+	}
+	c.Reset()
+	if c.Used() != 0 {
+		t.Fatal("Reset did not clear shards")
+	}
+}
+
+func TestKeyAffinity(t *testing.T) {
+	c, _ := New("x", 1<<20, 8, lruBuilder)
+	// The same key must always land on the same shard: a warm key keeps
+	// hitting no matter how many other keys interleave.
+	c.Access(cache.Request{Key: 7, Size: 10})
+	for i := 0; i < 1000; i++ {
+		c.Access(cache.Request{Key: uint64(1000 + i), Size: 10})
+		if !c.Access(cache.Request{Key: 7, Size: 10}) {
+			t.Fatalf("warm key missed at iteration %d", i)
+		}
+	}
+}
+
+// TestConcurrentAccess hammers the cache from many goroutines; run with
+// -race to verify the locking discipline.
+func TestConcurrentAccess(t *testing.T) {
+	c, err := New("scip", 1<<22, 8, scipBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const (
+		workers = 8
+		perW    = 20_000
+	)
+	var hits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				key := uint64((w*perW + i) % 500)
+				if c.Access(cache.Request{Time: int64(i), Key: key, Size: 256}) {
+					hits.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if hits.Load() == 0 {
+		t.Fatal("no hits under concurrent access")
+	}
+	if c.Used() > c.Capacity() {
+		t.Fatalf("capacity invariant violated: %d > %d", c.Used(), c.Capacity())
+	}
+}
+
+// TestShardingMissRatioPenalty checks the approximation cost: sharding a
+// SCIP cache 8 ways must stay within ~2 points of the unsharded miss
+// ratio on a profile workload.
+func TestShardingMissRatioPenalty(t *testing.T) {
+	tr, err := gen.Generate(gen.CDNT.Config(0.001, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBytes := gen.CDNT.CacheBytes(64<<30, 0.001)
+	opts := sim.Options{WarmupFrac: 0.2}
+	mono := sim.Run(tr, scipBuilder(capBytes, 0), opts)
+	sharded, err := New("scip-8", capBytes, 8, scipBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := sim.Run(tr, sharded, opts)
+	if sh.MissRatio() > mono.MissRatio()+0.02 {
+		t.Fatalf("sharding penalty too high: %.4f vs %.4f", sh.MissRatio(), mono.MissRatio())
+	}
+}
+
+func BenchmarkShardedParallelAccess(b *testing.B) {
+	c, err := New("scip", 1<<24, 16, scipBuilder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var ctr atomic.Uint64
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := ctr.Add(1)
+			c.Access(cache.Request{Time: int64(i), Key: i % 4096, Size: 512})
+		}
+	})
+}
+
+func BenchmarkUnshardedSerialAccess(b *testing.B) {
+	p := scipBuilder(1<<24, 0)
+	for i := 0; i < b.N; i++ {
+		p.Access(cache.Request{Time: int64(i), Key: uint64(i % 4096), Size: 512})
+	}
+}

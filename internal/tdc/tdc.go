@@ -1,0 +1,266 @@
+// Package tdc models Tencent's TDC image-CDN hierarchy (Figure 2 of the
+// paper): clients hit the outside cache (OC) layer, OC misses fall
+// through to the data-center cache (DC) layer, and DC misses "back to the
+// original source" (BTO) — the storage system COS. The simulation
+// replays a request timeline, switches the cache layers' insertion policy
+// to SCIP at a configurable deployment time (the layers themselves keep
+// their LRU victim selection, exactly like the production rollout), and
+// reports the Figure-6 series: BTO traffic, BTO ratio and mean user
+// access latency per time bucket.
+package tdc
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+// Config parametrises the hierarchy.
+type Config struct {
+	// OCCapacity and DCCapacity are the layer capacities in bytes.
+	OCCapacity, DCCapacity int64
+	// OCLatencyMs, DCLatencyMs and OriginLatencyMs are the base response
+	// latencies of each layer.
+	OCLatencyMs, DCLatencyMs, OriginLatencyMs float64
+	// OriginMsPerMiB adds size-dependent transfer time for BTO fetches.
+	OriginMsPerMiB float64
+	// DeployAt is the simulation time (seconds) at which SCIP replaces
+	// the LRU insertion policy in both layers; negative disables
+	// deployment (pure-LRU baseline run).
+	DeployAt int64
+	// BucketSeconds is the reporting granularity.
+	BucketSeconds int64
+	// Seed drives SCIP's bimodal choices.
+	Seed int64
+}
+
+// DefaultConfig returns a configuration whose pre-deployment operating
+// point sits in the regime the paper reports (single-digit BTO ratio,
+// a few hundred ms mean latency).
+func DefaultConfig() Config {
+	return Config{
+		OCCapacity:      256 << 20,
+		DCCapacity:      1 << 30,
+		OCLatencyMs:     12,
+		DCLatencyMs:     90,
+		OriginLatencyMs: 1200,
+		OriginMsPerMiB:  220,
+		DeployAt:        -1,
+		BucketSeconds:   3600,
+	}
+}
+
+// latencyReservoir is a fixed-size deterministic sampling reservoir for
+// percentile estimates.
+const reservoirSize = 1024
+
+// Bucket is one reporting interval of the Figure-6 series.
+type Bucket struct {
+	// StartTime is the bucket's start (seconds).
+	StartTime int64
+	// Requests served in the bucket.
+	Requests int
+	// BTOBytes fetched from the origin.
+	BTOBytes int64
+	// BTORequests that reached the origin.
+	BTORequests int
+	// LatencySumMs accumulates per-request latency.
+	LatencySumMs float64
+
+	// reservoir holds a uniform sample of per-request latencies for
+	// percentile estimation.
+	reservoir []float64
+	rngState  uint64
+}
+
+// observeLatency records one latency into the reservoir (Vitter's
+// algorithm R with a cheap deterministic PRNG).
+func (b *Bucket) observeLatency(ms float64) {
+	if len(b.reservoir) < reservoirSize {
+		b.reservoir = append(b.reservoir, ms)
+		return
+	}
+	b.rngState = b.rngState*6364136223846793005 + 1442695040888963407
+	j := int((b.rngState >> 33) % uint64(b.Requests))
+	if j < reservoirSize {
+		b.reservoir[j] = ms
+	}
+}
+
+// LatencyPercentile returns the q-quantile (0 < q < 1) of the bucket's
+// sampled latencies, or 0 when empty.
+func (b Bucket) LatencyPercentile(q float64) float64 {
+	if len(b.reservoir) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), b.reservoir...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
+}
+
+// BTOGbps returns the bucket's origin traffic in Gbit/s.
+func (b Bucket) BTOGbps(bucketSeconds int64) float64 {
+	if bucketSeconds == 0 {
+		return 0
+	}
+	return float64(b.BTOBytes) * 8 / float64(bucketSeconds) / 1e9
+}
+
+// BTORatio returns the fraction of requests that reached the origin (the
+// paper's miss-ratio metric for the deployment).
+func (b Bucket) BTORatio() float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return float64(b.BTORequests) / float64(b.Requests)
+}
+
+// MeanLatencyMs returns the bucket's average user access latency.
+func (b Bucket) MeanLatencyMs() float64 {
+	if b.Requests == 0 {
+		return 0
+	}
+	return b.LatencySumMs / float64(b.Requests)
+}
+
+// Result is a full simulation outcome.
+type Result struct {
+	Cfg     Config
+	Buckets []Bucket
+	// Deployed marks the bucket index at which SCIP took over (-1 when
+	// never deployed).
+	Deployed int
+}
+
+// aggregate sums a bucket range into one.
+func (r *Result) aggregate(from, to int) Bucket {
+	var out Bucket
+	for _, b := range r.Buckets[from:to] {
+		out.Requests += b.Requests
+		out.BTOBytes += b.BTOBytes
+		out.BTORequests += b.BTORequests
+		out.LatencySumMs += b.LatencySumMs
+	}
+	return out
+}
+
+// Before aggregates the pre-deployment buckets (whole run if never
+// deployed).
+func (r *Result) Before() Bucket {
+	if r.Deployed < 0 {
+		return r.aggregate(0, len(r.Buckets))
+	}
+	return r.aggregate(0, r.Deployed)
+}
+
+// After aggregates the post-deployment buckets.
+func (r *Result) After() Bucket {
+	if r.Deployed < 0 || r.Deployed >= len(r.Buckets) {
+		return Bucket{}
+	}
+	return r.aggregate(r.Deployed, len(r.Buckets))
+}
+
+// System is the two-layer hierarchy.
+type System struct {
+	cfg Config
+	oc  *cache.QueueCache
+	dc  *cache.QueueCache
+}
+
+// NewSystem builds the hierarchy with plain LRU layers.
+func NewSystem(cfg Config) *System {
+	return &System{
+		cfg: cfg,
+		oc:  cache.NewLRU(cfg.OCCapacity),
+		dc:  cache.NewLRU(cfg.DCCapacity),
+	}
+}
+
+// Deploy switches both layers' insertion policy to SCIP, mirroring the
+// production rollout.
+func (s *System) Deploy() {
+	s.oc.SetInsertion(core.New(s.cfg.OCCapacity, core.WithSeed(s.cfg.Seed+1)))
+	s.dc.SetInsertion(core.New(s.cfg.DCCapacity, core.WithSeed(s.cfg.Seed+2)))
+}
+
+// Serve processes one request and returns its latency in ms and whether
+// it reached the origin.
+func (s *System) Serve(req cache.Request) (latencyMs float64, bto bool) {
+	if s.oc.Access(req) {
+		return s.cfg.OCLatencyMs, false
+	}
+	if s.dc.Access(req) {
+		return s.cfg.DCLatencyMs, false
+	}
+	transfer := s.cfg.OriginMsPerMiB * float64(req.Size) / (1 << 20)
+	return s.cfg.OriginLatencyMs + transfer, true
+}
+
+// Run replays tr through the hierarchy, deploying SCIP at cfg.DeployAt.
+func Run(tr *trace.Trace, cfg Config) *Result {
+	sys := NewSystem(cfg)
+	res := &Result{Cfg: cfg, Deployed: -1}
+	if cfg.BucketSeconds <= 0 {
+		cfg.BucketSeconds = 3600
+		res.Cfg = cfg
+	}
+	deployed := false
+	var cur *Bucket
+	var curStart int64 = -1
+	for _, req := range tr.Requests {
+		if !deployed && cfg.DeployAt >= 0 && req.Time >= cfg.DeployAt {
+			sys.Deploy()
+			deployed = true
+			// The first fully post-deployment bucket is the next one to
+			// be created (a bucket in progress at the switch counts as
+			// pre-deployment).
+			res.Deployed = len(res.Buckets)
+		}
+		bucketStart := req.Time / cfg.BucketSeconds * cfg.BucketSeconds
+		if cur == nil || bucketStart != curStart {
+			res.Buckets = append(res.Buckets, Bucket{StartTime: bucketStart})
+			cur = &res.Buckets[len(res.Buckets)-1]
+			curStart = bucketStart
+		}
+		lat, bto := sys.Serve(req)
+		cur.Requests++
+		cur.LatencySumMs += lat
+		cur.observeLatency(lat)
+		if bto {
+			cur.BTORequests++
+			cur.BTOBytes += req.Size
+		}
+	}
+	if res.Deployed > len(res.Buckets) {
+		res.Deployed = len(res.Buckets)
+	}
+	return res
+}
+
+// Summary renders the before/after comparison like the paper's §5.2.
+func (r *Result) Summary() string {
+	b, a := r.Before(), r.After()
+	nb := r.Deployed
+	if nb < 0 {
+		nb = len(r.Buckets)
+	}
+	na := len(r.Buckets) - nb
+	gbps := func(agg Bucket, buckets int) float64 {
+		if buckets == 0 {
+			return 0
+		}
+		return float64(agg.BTOBytes) * 8 / float64(int64(buckets)*r.Cfg.BucketSeconds) / 1e9
+	}
+	return fmt.Sprintf(
+		"before: BTO-ratio=%.2f%% BTO=%.3f Gbps latency=%.1f ms | after: BTO-ratio=%.2f%% BTO=%.3f Gbps latency=%.1f ms",
+		100*b.BTORatio(), gbps(b, nb), b.MeanLatencyMs(),
+		100*a.BTORatio(), gbps(a, na), a.MeanLatencyMs())
+}

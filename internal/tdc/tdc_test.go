@@ -1,0 +1,151 @@
+package tdc
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+func tdcTrace(t *testing.T, days int64) *trace.Trace {
+	t.Helper()
+	cfg := gen.Config{
+		Name: "TDC", Seed: 21,
+		Requests:    200_000,
+		CatalogSize: 4_000,
+		ZipfAlpha:   0.85,
+		OneHitFrac:  0.12,
+		EchoProb:    0.25, EchoDelay: 150, EchoTailFrac: 0.6,
+		EpochRequests: 40_000, DriftFrac: 0.1,
+		SizeMean: 40 * 1024, SizeSigma: 1.4, MinSize: 128, MaxSize: 8 << 20,
+		Duration: days * 86_400,
+	}
+	tr, err := gen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestRunBucketsCoverTimeline(t *testing.T) {
+	tr := tdcTrace(t, 2)
+	cfg := DefaultConfig()
+	cfg.BucketSeconds = 3600
+	res := Run(tr, cfg)
+	if len(res.Buckets) < 40 || len(res.Buckets) > 49 {
+		t.Fatalf("buckets = %d, want ~48 for 2 days hourly", len(res.Buckets))
+	}
+	total := 0
+	for _, b := range res.Buckets {
+		total += b.Requests
+		if b.BTORequests > b.Requests {
+			t.Fatal("BTO count exceeds requests")
+		}
+	}
+	if total != len(tr.Requests) {
+		t.Fatalf("bucketed %d of %d requests", total, len(tr.Requests))
+	}
+	if res.Deployed != -1 {
+		t.Fatal("no deployment configured but Deployed set")
+	}
+}
+
+func TestHierarchyLatencyOrdering(t *testing.T) {
+	cfg := DefaultConfig()
+	sys := NewSystem(cfg)
+	r := tdcTrace(t, 1).Requests[0]
+	lat1, bto1 := sys.Serve(r) // cold: origin
+	if !bto1 || lat1 <= cfg.OriginLatencyMs {
+		t.Fatalf("cold request should pay origin latency, got %.1f bto=%v", lat1, bto1)
+	}
+	lat2, bto2 := sys.Serve(r) // now in OC
+	if bto2 || lat2 != cfg.OCLatencyMs {
+		t.Fatalf("warm request should hit OC at %.1f ms, got %.1f", cfg.OCLatencyMs, lat2)
+	}
+}
+
+func TestDCCatchesOCEvictions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.OCCapacity = 10_000
+	cfg.DCCapacity = 10_000_000
+	sys := NewSystem(cfg)
+	// Fill OC past capacity so object 1 falls out of OC but stays in DC.
+	sys.Serve(cache.Request{Time: 0, Key: 1, Size: 5_000})
+	for k := uint64(2); k < 10; k++ {
+		sys.Serve(cache.Request{Time: int64(k), Key: k, Size: 5_000})
+	}
+	lat, bto := sys.Serve(cache.Request{Time: 100, Key: 1, Size: 5_000})
+	if bto {
+		t.Fatal("object evicted from OC should hit DC, not origin")
+	}
+	if lat != cfg.DCLatencyMs {
+		t.Fatalf("DC hit latency = %.1f, want %.1f", lat, cfg.DCLatencyMs)
+	}
+}
+
+func TestDeploymentImprovesOperatingPoint(t *testing.T) {
+	tr := tdcTrace(t, 4)
+	cfg := DefaultConfig()
+	cfg.OCCapacity = 64 << 20
+	cfg.DCCapacity = 256 << 20
+	cfg.DeployAt = 2 * 86_400
+	cfg.Seed = 5
+	res := Run(tr, cfg)
+	if res.Deployed <= 0 || res.Deployed >= len(res.Buckets) {
+		t.Fatalf("Deployed index = %d of %d buckets", res.Deployed, len(res.Buckets))
+	}
+	before, after := res.Before(), res.After()
+	if before.Requests == 0 || after.Requests == 0 {
+		t.Fatal("empty before/after aggregates")
+	}
+	// SCIP must not degrade the system; on this drift+one-hit workload it
+	// should reduce the BTO ratio.
+	if after.BTORatio() > before.BTORatio()+0.01 {
+		t.Fatalf("BTO ratio worsened: %.4f -> %.4f", before.BTORatio(), after.BTORatio())
+	}
+	if !strings.Contains(res.Summary(), "before:") {
+		t.Fatalf("Summary() = %q", res.Summary())
+	}
+}
+
+func TestLatencyPercentiles(t *testing.T) {
+	var b Bucket
+	for i := 1; i <= 2000; i++ {
+		b.Requests++
+		b.observeLatency(float64(i % 100))
+	}
+	p50 := b.LatencyPercentile(0.5)
+	p99 := b.LatencyPercentile(0.99)
+	if p50 < 30 || p50 > 70 {
+		t.Fatalf("p50 = %g, want ~50", p50)
+	}
+	if p99 < p50 {
+		t.Fatal("p99 below p50")
+	}
+	if p99 > 99 {
+		t.Fatalf("p99 = %g out of range", p99)
+	}
+	var empty Bucket
+	if empty.LatencyPercentile(0.5) != 0 {
+		t.Fatal("empty bucket percentile should be 0")
+	}
+}
+
+func TestRunPercentilesReflectHierarchy(t *testing.T) {
+	tr := tdcTrace(t, 2)
+	cfg := DefaultConfig()
+	res := Run(tr, cfg)
+	last := res.Buckets[len(res.Buckets)-1]
+	p50 := last.LatencyPercentile(0.5)
+	p99 := last.LatencyPercentile(0.99)
+	// Warm steady state: median should be an OC hit, the tail an origin
+	// fetch.
+	if p50 != cfg.OCLatencyMs {
+		t.Fatalf("p50 = %g, want OC latency %g", p50, cfg.OCLatencyMs)
+	}
+	if p99 < cfg.DCLatencyMs {
+		t.Fatalf("p99 = %g, want >= DC latency", p99)
+	}
+}

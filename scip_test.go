@@ -1,0 +1,62 @@
+package scip_test
+
+import (
+	"testing"
+
+	scip "github.com/scip-cache/scip"
+)
+
+func TestFacadeQuickstart(t *testing.T) {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.0005, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := scip.NewCache(32<<20, scip.WithSeed(1), scip.WithInterval(2000))
+	res := scip.Replay(tr, c, scip.ReplayOptions{WarmupFrac: 0.2})
+	if res.MissRatio() <= 0 || res.MissRatio() >= 1 {
+		t.Fatalf("implausible miss ratio %.4f", res.MissRatio())
+	}
+	lru := scip.Replay(tr, scip.NewLRU(32<<20), scip.ReplayOptions{WarmupFrac: 0.2})
+	if res.MissRatio() > lru.MissRatio()+0.03 {
+		t.Fatalf("SCIP %.4f collapsed against LRU %.4f", res.MissRatio(), lru.MissRatio())
+	}
+	bel := scip.BeladyMissRatio(tr, 32<<20)
+	if bel > lru.MissRatio() {
+		t.Fatalf("Belady %.4f worse than LRU %.4f", bel, lru.MissRatio())
+	}
+}
+
+func TestFacadeCustomWorkload(t *testing.T) {
+	tr, err := scip.Generate(scip.WorkloadConfig{
+		Name: "tiny", Seed: 2,
+		Requests:    20_000,
+		CatalogSize: 300,
+		ZipfAlpha:   0.9,
+		OneHitFrac:  0.3,
+		SizeMean:    4096, SizeSigma: 1.0, MinSize: 64, MaxSize: 1 << 20,
+		Duration: 3600,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := tr.ComputeStats()
+	if st.TotalRequests != 20_000 {
+		t.Fatalf("requests = %d", st.TotalRequests)
+	}
+	s := scip.New(1<<20, scip.WithSeed(3))
+	c := scip.NewQueueCache("custom", 1<<20, s)
+	res := scip.Replay(tr, c, scip.ReplayOptions{})
+	if res.Hits == 0 {
+		t.Fatal("no hits on reusable workload")
+	}
+}
+
+func TestFacadeSCIVariant(t *testing.T) {
+	s := scip.NewSCI(1 << 20)
+	if s.Name() != "SCI" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	if pos := s.ChoosePromote(scip.Request{Key: 1, Size: 10}); pos != scip.MRU {
+		t.Fatal("SCI must promote to MRU")
+	}
+}
