@@ -1,0 +1,35 @@
+# Standard verify loop for the repository. `make check` is what CI (and
+# every PR) should run: formatting, vet, build, tests, and the race
+# detector over the concurrent experiment engine and sharded front.
+
+GO ?= go
+
+.PHONY: check fmt-check vet build test test-race bench bench-figures
+
+check: fmt-check vet build test test-race
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+test-race:
+	$(GO) test -race ./...
+
+# Hot-path and per-figure micro benchmarks at reduced scale.
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem .
+
+# Full figure regeneration with per-figure timings in BENCH.json.
+bench-figures:
+	$(GO) run ./cmd/scip-bench -scale 0.01 -seeds 2 -json BENCH.json all

@@ -136,3 +136,84 @@ func BenchmarkHistoryAddDelete(b *testing.B) {
 		}
 	}
 }
+
+// --- Replay hot-path benchmarks: per-request cost and allocations of the
+// zero-allocation steady-state loop (eviction-fed Entry freelist, hoisted
+// ResidencyObserver, pre-sized index). Run with -benchmem or rely on
+// ReportAllocs: steady-state LRU replay should report 0 allocs/op.
+
+// benchReplaySteadyState replays a trace through an already-warm policy so
+// every miss is served from the eviction-fed freelist.
+func benchReplaySteadyState(b *testing.B, build func(capBytes int64) cache.Policy) {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.001, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capBytes := gen.CDNT.CacheBytes(64<<30, 0.001)
+	p := build(capBytes)
+	reqs := tr.Requests
+	for _, r := range reqs { // warm: fill the cache and seed the freelist
+		p.Access(r)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Access(reqs[i%len(reqs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreq/s")
+}
+
+func BenchmarkReplayHotPathLRU(b *testing.B) {
+	benchReplaySteadyState(b, func(c int64) cache.Policy { return cache.NewLRU(c) })
+}
+
+func BenchmarkReplayHotPathSCIP(b *testing.B) {
+	benchReplaySteadyState(b, func(c int64) cache.Policy {
+		return core.NewCache(c, core.WithSeed(1), core.WithInterval(2000))
+	})
+}
+
+// BenchmarkReplayWholeTrace measures full-trace replay throughput through
+// sim.Run — the unit of work the parallel experiment engine schedules.
+func BenchmarkReplayWholeTrace(b *testing.B) {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.001, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capBytes := gen.CDNT.CacheBytes(64<<30, 0.001)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cache.NewLRU(capBytes)
+		res := sim.Run(tr, c, sim.Options{WarmupFrac: 0.2})
+		b.ReportMetric(res.MissRatio(), "missRatio")
+	}
+	b.ReportMetric(float64(b.N)*float64(len(tr.Requests))/b.Elapsed().Seconds()/1e6, "Mreq/s")
+}
+
+// BenchmarkParallelEngineFig8 regenerates Figure 8 through the worker
+// pool (Workers=0 → GOMAXPROCS) versus the serial path, at benchmark
+// scale. On multi-core machines the parallel variant shows the engine's
+// speedup; output is byte-identical either way.
+func BenchmarkParallelEngineFig8(b *testing.B) {
+	for _, workers := range []int{1, 0} {
+		name := "serial"
+		if workers == 0 {
+			name = "parallel"
+		}
+		b.Run(name, func(b *testing.B) {
+			r, ok := exp.Lookup("fig8")
+			if !ok {
+				b.Fatal("fig8 not registered")
+			}
+			cfg := benchCfg()
+			cfg.Workers = workers
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Run(cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -3,24 +3,57 @@
 //
 // Usage:
 //
-//	scip-bench [-scale 0.01] [-seeds 3] [-quick] [all|table1|fig1|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablation ...]
+//	scip-bench [-scale 0.01] [-seeds 3] [-quick] [-parallel] [-workers N] [-json BENCH.json] \
+//	    [all|table1|fig1|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablation ...]
 //
 // With no experiment arguments it lists the available experiments.
+//
+// Independent experiment cells run on a bounded worker pool (-parallel,
+// default on, sized by GOMAXPROCS or -workers); table output is
+// byte-identical to the serial run (-parallel=false). Per-figure wall
+// times are written as machine-readable JSON to the -json path.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"github.com/scip-cache/scip/internal/exp"
+	"github.com/scip-cache/scip/internal/runner"
 )
+
+// benchReport is the BENCH.json document: one timing entry per figure
+// plus the run configuration, so speedup comparisons (serial vs parallel)
+// are reproducible from the artefacts alone.
+type benchReport struct {
+	GeneratedUnix int64            `json:"generated_unix"`
+	Scale         float64          `json:"scale"`
+	Seeds         int              `json:"seeds"`
+	Quick         bool             `json:"quick"`
+	Parallel      bool             `json:"parallel"`
+	Workers       int              `json:"workers"`
+	GoMaxProcs    int              `json:"gomaxprocs"`
+	Experiments   []experimentTime `json:"experiments"`
+	TotalSeconds  float64          `json:"total_seconds"`
+}
+
+type experimentTime struct {
+	Name    string  `json:"name"`
+	Title   string  `json:"title"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.01, "trace scale relative to the paper's full workloads")
 	seeds := flag.Int("seeds", 3, "number of generation seeds to average over")
 	quick := flag.Bool("quick", false, "trim parameter grids for a smoke run")
+	parallel := flag.Bool("parallel", true, "run independent experiment cells on a worker pool (output is byte-identical either way)")
+	workers := flag.Int("workers", 0, "worker pool size with -parallel (0 = GOMAXPROCS)")
+	jsonPath := flag.String("json", "BENCH.json", "write per-figure timings as JSON to this path (empty disables)")
 	flag.Parse()
 
 	cfg := exp.DefaultConfig(os.Stdout)
@@ -29,6 +62,10 @@ func main() {
 	cfg.Seeds = cfg.Seeds[:0]
 	for i := 0; i < *seeds; i++ {
 		cfg.Seeds = append(cfg.Seeds, int64(i+1))
+	}
+	cfg.Workers = 1
+	if *parallel {
+		cfg.Workers = *workers // 0 sizes the pool by GOMAXPROCS
 	}
 
 	args := flag.Args()
@@ -53,6 +90,16 @@ func main() {
 		}
 		selected = append(selected, r)
 	}
+	report := benchReport{
+		GeneratedUnix: time.Now().Unix(),
+		Scale:         *scale,
+		Seeds:         *seeds,
+		Quick:         *quick,
+		Parallel:      *parallel,
+		Workers:       runner.Workers(cfg.Workers),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+	}
+	total := time.Now()
 	for _, r := range selected {
 		start := time.Now()
 		fmt.Printf("== %s: %s\n", r.Name, r.Title)
@@ -60,6 +107,24 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.Name, err)
 			os.Exit(1)
 		}
-		fmt.Printf("== %s done in %s\n\n", r.Name, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		fmt.Printf("== %s done in %s\n\n", r.Name, elapsed.Round(time.Millisecond))
+		report.Experiments = append(report.Experiments, experimentTime{
+			Name: r.Name, Title: r.Title, Seconds: elapsed.Seconds(),
+		})
+	}
+	report.TotalSeconds = time.Since(total).Seconds()
+	if *jsonPath != "" {
+		buf, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Printf("timings written to %s (total %.2fs, %d workers)\n",
+			*jsonPath, report.TotalSeconds, report.Workers)
 	}
 }

@@ -12,9 +12,20 @@ type QueueCache struct {
 	q     Queue
 	index map[uint64]*Entry
 	ins   InsertionPolicy
+	// resObs is ins's ResidencyObserver side, asserted once at
+	// construction/SetInsertion time so the per-hit path carries no type
+	// assertion.
+	resObs ResidencyObserver
+	// free is the eviction-fed Entry freelist (linked through Entry.next):
+	// steady-state misses reuse the entry their eviction just released
+	// instead of allocating. Entries on the freelist are recycled — an
+	// EvictHook may read the victim during the callback but must not
+	// retain it.
+	free *Entry
 
 	// EvictHook, when non-nil, observes every eviction (used by the ZRO
-	// analyzer and tests).
+	// analyzer and tests). The entry is only valid for the duration of
+	// the call; it is recycled for a later insertion afterwards.
 	EvictHook func(e *Entry)
 }
 
@@ -29,12 +40,28 @@ func NewQueueCache(name string, capBytes int64, ins InsertionPolicy) *QueueCache
 			name = "LRU"
 		}
 	}
-	return &QueueCache{
+	c := &QueueCache{
 		name:  name,
 		cap:   capBytes,
-		index: make(map[uint64]*Entry),
-		ins:   ins,
+		index: make(map[uint64]*Entry, indexHint(capBytes)),
 	}
+	c.SetInsertion(ins)
+	return c
+}
+
+// indexHint pre-sizes the key index from the byte capacity, assuming
+// CDN-scale mean object sizes (~32 KiB), so steady-state replay does not
+// repeatedly grow the map. Clamped so tiny test caches and huge
+// capacities both get sane starts.
+func indexHint(capBytes int64) int {
+	h := capBytes >> 15
+	if h < 16 {
+		h = 16
+	}
+	if h > 1<<20 {
+		h = 1 << 20
+	}
+	return int(h)
 }
 
 // NewLRU returns a plain LRU cache.
@@ -68,7 +95,10 @@ func (c *QueueCache) Queue() *Queue { return &c.q }
 // SetInsertion hot-swaps the insertion/promotion policy, as the paper's
 // TDC deployment did ("we have merely replaced LRU's insertion policy
 // with SCIP"). Resident entries keep their marks; nil restores plain LRU.
-func (c *QueueCache) SetInsertion(ins InsertionPolicy) { c.ins = ins }
+func (c *QueueCache) SetInsertion(ins InsertionPolicy) {
+	c.ins = ins
+	c.resObs, _ = ins.(ResidencyObserver)
+}
 
 // Access implements Policy.
 func (c *QueueCache) Access(req Request) bool {
@@ -80,8 +110,8 @@ func (c *QueueCache) Access(req Request) bool {
 		e.Hits++
 		e.Freq++
 		e.LastAccess = req.Time
-		if obs, ok := c.ins.(ResidencyObserver); ok {
-			obs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits)
+		if c.resObs != nil {
+			c.resObs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits)
 		}
 		c.promote(e, req)
 		return true
@@ -117,17 +147,24 @@ func (c *QueueCache) promote(e *Entry, req Request) {
 }
 
 // insert admits a missing object, evicting from the LRU end as needed.
+// Steady-state inserts are allocation-free: the evictions they trigger
+// feed the freelist the new entry is taken from.
 func (c *QueueCache) insert(req Request) {
 	for c.q.Bytes()+req.Size > c.cap {
 		c.evictOne()
 	}
-	e := &Entry{
-		Key:        req.Key,
-		Size:       req.Size,
-		InsertTime: req.Time,
-		LastAccess: req.Time,
-		Freq:       1,
+	e := c.free
+	if e != nil {
+		c.free = e.next
+		*e = Entry{}
+	} else {
+		e = &Entry{}
 	}
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
+	e.Freq = 1
 	pos := MRU
 	if c.ins != nil {
 		pos = c.ins.ChooseInsert(req)
@@ -165,12 +202,16 @@ func (c *QueueCache) evictOne() {
 	if c.EvictHook != nil {
 		c.EvictHook(victim)
 	}
+	// Recycle after the hooks have seen the victim's final state.
+	victim.next = c.free
+	c.free = victim
 }
 
 // Reset implements Resetter.
 func (c *QueueCache) Reset() {
 	c.q = Queue{}
 	clear(c.index)
+	c.free = nil
 	if r, ok := c.ins.(Resetter); ok && c.ins != nil {
 		r.Reset()
 	}

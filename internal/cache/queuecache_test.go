@@ -205,3 +205,94 @@ func TestPositionString(t *testing.T) {
 		t.Fatal("Position.String broken")
 	}
 }
+
+func TestFreelistReusesEvictedEntry(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(req(1, 1, 60))
+	first := c.Entry(1)
+	c.Access(req(2, 2, 60)) // evicts 1, freelist now holds its entry
+	c.Access(req(3, 3, 60)) // evicts 2, must reuse 1's entry
+	reused := c.Entry(3)
+	if reused != first {
+		t.Fatal("miss after eviction did not reuse the freed entry")
+	}
+	if reused.Key != 3 || reused.Size != 60 || reused.InsertTime != 3 ||
+		reused.LastAccess != 3 || reused.Hits != 0 || reused.Freq != 1 ||
+		reused.Score != 0 || reused.Class != 0 || reused.Residency != ResInserted {
+		t.Fatalf("recycled entry not fully reset: %+v", reused)
+	}
+	if !reused.InsertedMRU {
+		t.Fatal("recycled plain-LRU insert should be MRU-marked")
+	}
+}
+
+func TestFreelistEvictHookSeesFinalState(t *testing.T) {
+	c := NewLRU(100)
+	type evicted struct {
+		key  uint64
+		hits int
+	}
+	var got []evicted
+	c.EvictHook = func(e *Entry) { got = append(got, evicted{e.Key, e.Hits}) }
+	c.Access(req(1, 1, 60))
+	c.Access(req(2, 1, 60)) // hit
+	c.Access(req(3, 2, 60)) // evicts 1 (one hit, then promotion reset? plain LRU keeps Hits)
+	c.Access(req(4, 3, 60)) // evicts 2, reusing 1's entry
+	if len(got) != 2 || got[0].key != 1 || got[1].key != 2 {
+		t.Fatalf("evictions = %+v", got)
+	}
+	if got[1].hits != 0 {
+		t.Fatalf("recycled entry leaked hit count into next eviction: %+v", got[1])
+	}
+}
+
+func TestFreelistClearedOnReset(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(req(1, 1, 60))
+	c.Access(req(2, 2, 60)) // evicts 1 onto the freelist
+	c.Reset()
+	c.Access(req(3, 3, 60))
+	if c.Used() != 60 || !c.Contains(3) {
+		t.Fatal("insert after Reset broken")
+	}
+}
+
+// TestAccessAllocsSteadyState asserts the zero-allocation replay hot
+// path: steady-state hits allocate nothing, and steady-state misses are
+// served from the eviction-fed freelist without allocating.
+func TestAccessAllocsSteadyState(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(req(1, 1, 100)) // resident
+	hitReq := req(2, 1, 100)
+	if a := testing.AllocsPerRun(200, func() { c.Access(hitReq) }); a != 0 {
+		t.Fatalf("steady-state hit allocates %.1f allocs/op, want 0", a)
+	}
+
+	// Alternate two same-sized objects through a one-slot cache: every
+	// access misses, evicts the other, and must reuse its entry.
+	c2 := NewLRU(100)
+	c2.Access(req(1, 10, 100))
+	c2.Access(req(2, 11, 100))
+	i := int64(3)
+	if a := testing.AllocsPerRun(200, func() {
+		key := uint64(10 + i%2)
+		c2.Access(req(i, key, 100))
+		i++
+	}); a != 0 {
+		t.Fatalf("freelist-served miss allocates %.1f allocs/op, want 0", a)
+	}
+}
+
+// TestAccessAllocsWithInsertionPolicy covers the hoisted
+// ResidencyObserver path: a policy without the observer must not cost an
+// assertion or allocation per hit, and one with it must still be
+// allocation-free through the cache layer.
+func TestAccessAllocsWithInsertionPolicy(t *testing.T) {
+	ins := &fixedIns{insert: MRU, promote: MRU}
+	c := NewQueueCache("", 100, ins)
+	c.Access(req(1, 1, 100))
+	hitReq := req(2, 1, 100)
+	if a := testing.AllocsPerRun(200, func() { c.Access(hitReq) }); a != 0 {
+		t.Fatalf("policy-driven hit allocates %.1f allocs/op, want 0", a)
+	}
+}

@@ -59,36 +59,48 @@ func runAblations(cfg Config) error {
 	if cfg.Quick {
 		variants = variants[:5]
 	}
+	// Every (variant, profile) cell — plus the LRU reference row — is an
+	// independent replay; enumerate them all as jobs and format the
+	// ordered results serially.
+	var jobs []func() (float64, error)
+	for _, v := range variants {
+		for _, p := range gen.Profiles {
+			capBytes := p.CacheBytes(gb(64), cfg.Scale)
+			b := policyBuilder{v.name, func(c, s int64, sc float64) cache.Policy {
+				return core.NewCache(c, v.opts(c, s, sc)...)
+			}}
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
+		}
+	}
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		jobs = append(jobs, missCell(cfg, p, capBytes,
+			policyBuilder{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }}))
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
 	header(cfg.Out, "# Ablations — SCIP miss ratio by design variant (scale %.4g, 64 GB-eq)", cfg.Scale)
 	fmt.Fprintf(cfg.Out, "%-14s", "variant")
 	for _, p := range gen.Profiles {
 		fmt.Fprintf(cfg.Out, " %10s", p)
 	}
 	fmt.Fprintln(cfg.Out)
+	i := 0
 	for _, v := range variants {
 		fmt.Fprintf(cfg.Out, "%-14s", v.name)
-		for _, p := range gen.Profiles {
-			capBytes := p.CacheBytes(gb(64), cfg.Scale)
-			b := policyBuilder{v.name, func(c, s int64, sc float64) cache.Policy {
-				return core.NewCache(c, v.opts(c, s, sc)...)
-			}}
-			mr, err := runMissRatio(cfg, p, capBytes, b)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, " %10.4f", mr)
+		for range gen.Profiles {
+			fmt.Fprintf(cfg.Out, " %10.4f", cells[i])
+			i++
 		}
 		fmt.Fprintln(cfg.Out)
 	}
 	// LRU reference row.
 	fmt.Fprintf(cfg.Out, "%-14s", "LRU(ref)")
-	for _, p := range gen.Profiles {
-		capBytes := p.CacheBytes(gb(64), cfg.Scale)
-		mr, err := runMissRatio(cfg, p, capBytes, policyBuilder{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }})
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(cfg.Out, " %10.4f", mr)
+	for range gen.Profiles {
+		fmt.Fprintf(cfg.Out, " %10.4f", cells[i])
+		i++
 	}
 	fmt.Fprintln(cfg.Out)
 	return nil

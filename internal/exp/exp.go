@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/runner"
 	"github.com/scip-cache/scip/internal/trace"
 )
 
@@ -25,6 +26,11 @@ type Config struct {
 	Out io.Writer
 	// Quick trims parameter grids for smoke runs.
 	Quick bool
+	// Workers bounds the experiment engine's concurrency: 0 (the
+	// default) sizes the pool by GOMAXPROCS, 1 forces the serial path,
+	// and any larger value caps the pool. Table output is byte-identical
+	// for every value — only wall-clock time changes.
+	Workers int
 }
 
 // DefaultConfig returns the full-run configuration.
@@ -63,26 +69,32 @@ func Lookup(name string) (Runner, bool) {
 	return Runner{}, false
 }
 
-// traceCache memoises generated traces within one process.
-var traceCache = map[string]*trace.Trace{}
+// traceCache memoises generated traces within one process. It is a
+// singleflight memo so that two workers wanting the same (profile, scale,
+// seed) trace generate it exactly once and share the result, and so that
+// concurrent experiment cells never race on the map.
+var traceCache runner.Memo[string, *trace.Trace]
 
-// getTrace returns the memoised synthetic trace for a profile.
+// getTrace returns the memoised synthetic trace for a profile. Safe for
+// concurrent use.
 func getTrace(p gen.Profile, scale float64, seed int64) (*trace.Trace, error) {
 	key := fmt.Sprintf("%s/%g/%d", p, scale, seed)
-	if tr, ok := traceCache[key]; ok {
-		return tr, nil
-	}
-	tr, err := gen.Generate(p.Config(scale, seed))
-	if err != nil {
-		return nil, err
-	}
-	traceCache[key] = tr
-	return tr, nil
+	return traceCache.Do(key, func() (*trace.Trace, error) {
+		return gen.Generate(p.Config(scale, seed))
+	})
 }
 
 // ClearTraceCache drops memoised traces (benchmarks call this between
 // scales to bound memory).
-func ClearTraceCache() { traceCache = map[string]*trace.Trace{} }
+func ClearTraceCache() { traceCache.Clear() }
+
+// runJobs evaluates independent experiment cells on the config's worker
+// pool and returns their results in submission order, which is what keeps
+// parallel table output byte-identical to the serial run: jobs only
+// compute, the caller formats from the ordered slice.
+func runJobs[T any](cfg Config, jobs []func() (T, error)) ([]T, error) {
+	return runner.Map(cfg.Workers, len(jobs), func(i int) (T, error) { return jobs[i]() })
+}
 
 // paperGB lists the cache sizes of Figures 8's panels.
 var paperGB = []int64{64, 128, 256}

@@ -36,24 +36,28 @@ func runExtensions(cfg Config) error {
 // runMultiChain compares S4LRU against S4LRU-SCIP (the paper's stated
 // future work) on all profiles.
 func runMultiChain(cfg Config) error {
-	header(cfg.Out, "# Extension A — multi-chain SCIP (paper future work), 64 GB-eq (scale %.4g)", cfg.Scale)
-	header(cfg.Out, "%-8s %10s %12s", "trace", "S4LRU", "S4LRU-SCIP")
-	for _, p := range gen.Profiles {
-		capBytes := p.CacheBytes(gb(64), cfg.Scale)
-		base, err := runMissRatio(cfg, p, capBytes, policyBuilder{"S4LRU", func(c, s int64, _ float64) cache.Policy {
-			return replacement.NewS4LRU(c)
-		}})
-		if err != nil {
-			return err
-		}
-		enh, err := runMissRatio(cfg, p, capBytes, policyBuilder{"S4LRU-SCIP", func(c, s int64, sc float64) cache.Policy {
+	builders := []policyBuilder{
+		{"S4LRU", func(c, s int64, _ float64) cache.Policy { return replacement.NewS4LRU(c) }},
+		{"S4LRU-SCIP", func(c, s int64, sc float64) cache.Policy {
 			return replacement.NewS4LRUWithInsertion(c, core.New(c,
 				core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement()))
-		}})
-		if err != nil {
-			return err
+		}},
+	}
+	var jobs []func() (float64, error)
+	for _, p := range gen.Profiles {
+		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		for _, b := range builders {
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
 		}
-		fmt.Fprintf(cfg.Out, "%-8s %10.4f %12.4f\n", p, base, enh)
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# Extension A — multi-chain SCIP (paper future work), 64 GB-eq (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %10s %12s", "trace", "S4LRU", "S4LRU-SCIP")
+	for i, p := range gen.Profiles {
+		fmt.Fprintf(cfg.Out, "%-8s %10.4f %12.4f\n", p, cells[2*i], cells[2*i+1])
 	}
 	return nil
 }
@@ -70,15 +74,23 @@ func runAdmission(cfg Config) error {
 		{"TinyLFU", func(c, s int64, _ float64) cache.Policy { return admission.NewTinyLFU(c) }},
 		{"AdaptSize", func(c, s int64, _ float64) cache.Policy { return admission.NewAdaptSize(c, s) }},
 	}
+	var jobs []func() (float64, error)
 	for _, p := range gen.Profiles {
 		capBytes := p.CacheBytes(gb(64), cfg.Scale)
+		for _, b := range builderSet {
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
+		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, p := range gen.Profiles {
 		fmt.Fprintf(cfg.Out, "%-8s", p)
 		for _, b := range builderSet {
-			mr, err := runMissRatio(cfg, p, capBytes, b)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, cells[i])
+			i++
 		}
 		fmt.Fprintln(cfg.Out)
 	}

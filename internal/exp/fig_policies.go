@@ -110,54 +110,84 @@ func beladyMR(tr *trace.Trace, capBytes int64) float64 {
 	return 1 - float64(hits)/float64(total)
 }
 
+// missCell returns a job computing one (profile, builder) miss-ratio cell.
+func missCell(cfg Config, p gen.Profile, capBytes int64, b policyBuilder) func() (float64, error) {
+	return func() (float64, error) { return runMissRatio(cfg, p, capBytes, b) }
+}
+
+// beladyCell returns a job computing Belady's miss ratio for a profile.
+func beladyCell(cfg Config, p gen.Profile, capBytes int64) func() (float64, error) {
+	return func() (float64, error) {
+		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+		if err != nil {
+			return 0, err
+		}
+		return beladyMR(tr, capBytes), nil
+	}
+}
+
 // runFig7 compares SCIP and SCI on all profiles.
 func runFig7(cfg Config) error {
-	header(cfg.Out, "# Figure 7 — SCIP vs SCI (scale %.4g, %d seeds, 64 GB-equivalent)", cfg.Scale, len(cfg.Seeds))
-	header(cfg.Out, "%-8s %10s %10s %10s %10s", "trace", "LRU", "SCI", "SCIP", "SCIP-SCI")
+	builders := []policyBuilder{
+		{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }},
+		{"SCI", func(c, s int64, sc float64) cache.Policy {
+			return core.NewSCICache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+		}},
+		insertionBaselines()[0],
+	}
+	var jobs []func() (float64, error)
 	for _, p := range gen.Profiles {
 		capBytes := p.CacheBytes(gb(64), cfg.Scale)
-		lruMR, err := runMissRatio(cfg, p, capBytes, policyBuilder{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }})
-		if err != nil {
-			return err
+		for _, b := range builders {
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
 		}
-		sciMR, err := runMissRatio(cfg, p, capBytes, policyBuilder{"SCI", func(c, s int64, sc float64) cache.Policy {
-			return core.NewSCICache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
-		}})
-		if err != nil {
-			return err
-		}
-		scipMR, err := runMissRatio(cfg, p, capBytes, insertionBaselines()[0])
-		if err != nil {
-			return err
-		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# Figure 7 — SCIP vs SCI (scale %.4g, %d seeds, 64 GB-equivalent)", cfg.Scale, len(cfg.Seeds))
+	header(cfg.Out, "%-8s %10s %10s %10s %10s", "trace", "LRU", "SCI", "SCIP", "SCIP-SCI")
+	for i, p := range gen.Profiles {
+		lruMR, sciMR, scipMR := cells[3*i], cells[3*i+1], cells[3*i+2]
 		fmt.Fprintf(cfg.Out, "%-8s %10.4f %10.4f %10.4f %+10.4f\n", p, lruMR, sciMR, scipMR, scipMR-sciMR)
 	}
 	return nil
 }
 
 // runFig8 compares SCIP with the eight insertion baselines and Belady at
-// the three paper cache sizes.
+// the three paper cache sizes. Every (size, profile, policy) cell is an
+// independent job; the ordered results are formatted serially.
 func runFig8(cfg Config) error {
 	sizes := paperGB
 	if cfg.Quick {
 		sizes = sizes[:1]
 	}
+	builders := insertionBaselines()
+	var jobs []func() (float64, error)
+	for _, sz := range sizes {
+		for _, p := range gen.Profiles {
+			capBytes := p.CacheBytes(gb(sz), cfg.Scale)
+			jobs = append(jobs, beladyCell(cfg, p, capBytes))
+			for _, b := range builders {
+				jobs = append(jobs, missCell(cfg, p, capBytes, b))
+			}
+		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	i := 0
 	for _, sz := range sizes {
 		header(cfg.Out, "# Figure 8 — insertion policies, %d GB-equivalent (scale %.4g)", sz, cfg.Scale)
 		header(cfg.Out, "%-8s %10s ...", "trace", "missRatio")
 		for _, p := range gen.Profiles {
-			capBytes := p.CacheBytes(gb(sz), cfg.Scale)
-			tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, beladyMR(tr, capBytes))
-			for _, b := range insertionBaselines() {
-				mr, err := runMissRatio(cfg, p, capBytes, b)
-				if err != nil {
-					return err
-				}
-				fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+			fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, cells[i])
+			i++
+			for _, b := range builders {
+				fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, cells[i])
+				i++
 			}
 			fmt.Fprintln(cfg.Out)
 		}
@@ -167,7 +197,10 @@ func runFig8(cfg Config) error {
 
 // runResources measures peak memory, throughput and a CPU proxy for each
 // policy on CDN-T (Figures 9 and 11 substitute in-process metering for
-// the paper's testbed monitors; see DESIGN.md §3).
+// the paper's testbed monitors; see DESIGN.md §3). The metered replays
+// deliberately stay serial regardless of Config.Workers: wall-clock and
+// peak-heap samples taken while sibling cells run would measure the pool,
+// not the policy.
 func runResources(cfg Config, builderSet []policyBuilder, figure string) error {
 	p := gen.CDNT
 	capBytes := p.CacheBytes(gb(64), cfg.Scale)
@@ -199,20 +232,27 @@ func runFig11(cfg Config) error { return runResources(cfg, replacementBaselines(
 
 // runFig10 compares SCIP with the replacement algorithms.
 func runFig10(cfg Config) error {
-	header(cfg.Out, "# Figure 10 — replacement algorithms, 64 GB-equivalent (scale %.4g)", cfg.Scale)
+	builders := replacementBaselines()
+	var jobs []func() (float64, error)
 	for _, p := range gen.Profiles {
 		capBytes := p.CacheBytes(gb(64), cfg.Scale)
-		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
-		if err != nil {
-			return err
+		jobs = append(jobs, beladyCell(cfg, p, capBytes))
+		for _, b := range builders {
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
 		}
-		fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, beladyMR(tr, capBytes))
-		for _, b := range replacementBaselines() {
-			mr, err := runMissRatio(cfg, p, capBytes, b)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, mr)
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# Figure 10 — replacement algorithms, 64 GB-equivalent (scale %.4g)", cfg.Scale)
+	i := 0
+	for _, p := range gen.Profiles {
+		fmt.Fprintf(cfg.Out, "%-8s Belady=%.4f", p, cells[i])
+		i++
+		for _, b := range builders {
+			fmt.Fprintf(cfg.Out, " %s=%.4f", b.name, cells[i])
+			i++
 		}
 		fmt.Fprintln(cfg.Out)
 	}
@@ -239,15 +279,23 @@ func runFig12(cfg Config) error {
 			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(policies.NewASCIP(c)))
 		}},
 	}
+	var jobs []func() (float64, error)
 	for _, p := range gen.Profiles {
 		capBytes := p.CacheBytes(gb(64), cfg.Scale)
-		fmt.Fprintf(cfg.Out, "%-8s", p)
 		for _, b := range variants {
-			mr, err := runMissRatio(cfg, p, capBytes, b)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(cfg.Out, " %10.4f", mr)
+			jobs = append(jobs, missCell(cfg, p, capBytes, b))
+		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
+	i := 0
+	for _, p := range gen.Profiles {
+		fmt.Fprintf(cfg.Out, "%-8s", p)
+		for range variants {
+			fmt.Fprintf(cfg.Out, " %10.4f", cells[i])
+			i++
 		}
 		fmt.Fprintln(cfg.Out)
 	}

@@ -65,12 +65,25 @@ func runFig6(cfg Config) error {
 	if cfg.Quick {
 		days = 4
 	}
-	tr, err := TDCTrace(cfg.Scale, cfg.Seeds[0], days)
+	// The TDC timeline is one stateful replay — inherently serial — so it
+	// is a single cell on the experiment pool: it cannot fan out, but it
+	// shares the pool's job accounting with the grid figures.
+	type tdcCell struct {
+		sysCfg tdc.Config
+		res    *tdc.Result
+	}
+	cells, err := runJobs(cfg, []func() (tdcCell, error){func() (tdcCell, error) {
+		tr, err := TDCTrace(cfg.Scale, cfg.Seeds[0], days)
+		if err != nil {
+			return tdcCell{}, err
+		}
+		sysCfg := TDCConfig(tr, days/2*86_400, cfg.Seeds[0])
+		return tdcCell{sysCfg: sysCfg, res: tdc.Run(tr, sysCfg)}, nil
+	}})
 	if err != nil {
 		return err
 	}
-	sysCfg := TDCConfig(tr, days/2*86_400, cfg.Seeds[0])
-	res := tdc.Run(tr, sysCfg)
+	sysCfg, res := cells[0].sysCfg, cells[0].res
 	// Normalise the traffic axis to the paper's pre-deployment operating
 	// point (15.25 Gbps): the simulated byte volume is scale-dependent,
 	// while the relative drop is the reproduced quantity.

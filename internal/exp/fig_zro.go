@@ -1,10 +1,12 @@
 package exp
 
 import (
+	"bytes"
 	"fmt"
 
 	"github.com/scip-cache/scip/internal/gen"
 	"github.com/scip-cache/scip/internal/ml"
+	"github.com/scip-cache/scip/internal/trace"
 	"github.com/scip-cache/scip/internal/zro"
 )
 
@@ -16,16 +18,23 @@ func init() {
 }
 
 // runTable1 prints the generated workloads' Table-1 statistics next to
-// the paper's.
+// the paper's. Generating the three profile traces dominates, so each
+// profile's (generate + scan) is one job.
 func runTable1(cfg Config) error {
-	header(cfg.Out, "# Table 1 — workload summary (scale %.4g, seed %d)", cfg.Scale, cfg.Seeds[0])
-	header(cfg.Out, "%-8s %12s %12s %12s %10s %12s %10s", "trace", "requests", "unique", "meanSizeKB", "minSize", "maxSizeMB", "wssGB")
-	for _, p := range gen.Profiles {
+	rows, err := runJobs(cfg, profileJobs(cfg, func(p gen.Profile) (trace.Stats, error) {
 		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
 		if err != nil {
-			return err
+			return trace.Stats{}, err
 		}
-		s := tr.ComputeStats()
+		return tr.ComputeStats(), nil
+	}))
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# Table 1 — workload summary (scale %.4g, seed %d)", cfg.Scale, cfg.Seeds[0])
+	header(cfg.Out, "%-8s %12s %12s %12s %10s %12s %10s", "trace", "requests", "unique", "meanSizeKB", "minSize", "maxSizeMB", "wssGB")
+	for i, p := range gen.Profiles {
+		s := rows[i]
 		fmt.Fprintf(cfg.Out, "%-8s %12d %12d %12.2f %10d %12.2f %10.3f\n",
 			s.Name, s.TotalRequests, s.UniqueObjects, s.MeanObjectSize/1024,
 			s.MinObjectSize, float64(s.MaxObjectSize)/(1<<20), float64(s.WorkingSetSize)/(1<<30))
@@ -35,6 +44,15 @@ func runTable1(cfg Config) error {
 			ps.MinObjectSize, float64(ps.MaxObjectSize)/(1<<20), float64(ps.WorkingSetSize)/(1<<30))
 	}
 	return nil
+}
+
+// profileJobs wraps one job per workload profile.
+func profileJobs[T any](cfg Config, fn func(p gen.Profile) (T, error)) []func() (T, error) {
+	jobs := make([]func() (T, error), len(gen.Profiles))
+	for i, p := range gen.Profiles {
+		jobs[i] = func() (T, error) { return fn(p) }
+	}
+	return jobs
 }
 
 // fig1Sizes are the paper's cache sizes A–D as fractions of the working
@@ -58,22 +76,44 @@ func runFig1(cfg Config) error {
 	if cfg.Quick {
 		sizes = sizes[1:3]
 	}
+	// One job per (profile, size): each runs the analyzer and the two
+	// oracle replays on the shared memoised trace.
+	type fig1Cell struct {
+		sum           zro.Summary
+		zroMR, pzroMR float64
+	}
+	var jobs []func() (fig1Cell, error)
+	for _, p := range gen.Profiles {
+		for _, sz := range sizes {
+			jobs = append(jobs, func() (fig1Cell, error) {
+				tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+				if err != nil {
+					return fig1Cell{}, err
+				}
+				capBytes := int64(sz.frac * float64(tr.ComputeStats().WorkingSetSize))
+				_, sum := zro.Analyze(tr, capBytes)
+				return fig1Cell{
+					sum:    sum,
+					zroMR:  zro.OracleReplay(tr, capBytes, true, false, 1, 0),
+					pzroMR: zro.OracleReplay(tr, capBytes, false, true, 1, 0),
+				}, nil
+			})
+		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
 	header(cfg.Out, "# Figure 1 — ZRO family shares under LRU (scale %.4g)", cfg.Scale)
 	header(cfg.Out, "%-8s %-8s %8s %8s %8s %8s %8s %10s %10s", "trace", "size", "ZRO%", "A-ZRO%", "P-ZRO%", "A-P-ZRO%", "lruMR", "mr(ZRO)", "mr(P-ZRO)")
+	i := 0
 	for _, p := range gen.Profiles {
-		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
-		if err != nil {
-			return err
-		}
-		wss := tr.ComputeStats().WorkingSetSize
 		for _, sz := range sizes {
-			capBytes := int64(sz.frac * float64(wss))
-			_, sum := zro.Analyze(tr, capBytes)
-			zroMR := zro.OracleReplay(tr, capBytes, true, false, 1, 0)
-			pzroMR := zro.OracleReplay(tr, capBytes, false, true, 1, 0)
+			c := cells[i]
+			i++
 			fmt.Fprintf(cfg.Out, "%-8s %-8s %8.2f %8.2f %8.2f %8.2f %8.4f %10.4f %10.4f\n",
-				p, sz.label, 100*sum.ZROFrac(), 100*sum.AZROFrac(),
-				100*sum.PZROFrac(), 100*sum.APZROFrac(), sum.MissRatio, zroMR, pzroMR)
+				p, sz.label, 100*c.sum.ZROFrac(), 100*c.sum.AZROFrac(),
+				100*c.sum.PZROFrac(), 100*c.sum.APZROFrac(), c.sum.MissRatio, c.zroMR, c.pzroMR)
 		}
 	}
 	return nil
@@ -86,20 +126,36 @@ func runFig3(cfg Config) error {
 	if cfg.Quick {
 		fracs = []float64{0, 0.5, 1.0}
 	}
+	// One job per (profile, fraction): three oracle replays each.
+	var jobs []func() ([3]float64, error)
+	for _, p := range gen.Profiles {
+		for _, f := range fracs {
+			jobs = append(jobs, func() ([3]float64, error) {
+				tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
+				if err != nil {
+					return [3]float64{}, err
+				}
+				capBytes := int64(0.05 * float64(tr.ComputeStats().WorkingSetSize)) // size C, mid panel
+				return [3]float64{
+					zro.OracleReplay(tr, capBytes, true, false, f, 0),
+					zro.OracleReplay(tr, capBytes, false, true, f, 0),
+					zro.OracleReplay(tr, capBytes, true, true, f, 0),
+				}, nil
+			})
+		}
+	}
+	cells, err := runJobs(cfg, jobs)
+	if err != nil {
+		return err
+	}
 	header(cfg.Out, "# Figure 3 — oracle LRU-position placement (scale %.4g)", cfg.Scale)
 	header(cfg.Out, "%-8s %6s %10s %10s %10s", "trace", "frac", "mr(ZRO)", "mr(P-ZRO)", "mr(both)")
+	i := 0
 	for _, p := range gen.Profiles {
-		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
-		if err != nil {
-			return err
-		}
-		wss := tr.ComputeStats().WorkingSetSize
-		capBytes := int64(0.05 * float64(wss)) // size C, mid panel
 		for _, f := range fracs {
-			z := zro.OracleReplay(tr, capBytes, true, false, f, 0)
-			pz := zro.OracleReplay(tr, capBytes, false, true, f, 0)
-			both := zro.OracleReplay(tr, capBytes, true, true, f, 0)
-			fmt.Fprintf(cfg.Out, "%-8s %6.0f%% %10.4f %10.4f %10.4f\n", p, 100*f, z, pz, both)
+			c := cells[i]
+			i++
+			fmt.Fprintf(cfg.Out, "%-8s %6.0f%% %10.4f %10.4f %10.4f\n", p, 100*f, c[0], c[1], c[2])
 		}
 	}
 	return nil
@@ -128,16 +184,18 @@ func fig4Models(seed int64, quick bool) []ml.Classifier {
 // runFig4 reproduces Figure 4: decision accuracy of six models on the
 // ZRO, P-ZRO, and combined classification tasks.
 func runFig4(cfg Config) error {
-	header(cfg.Out, "# Figure 4 — classifier accuracy (scale %.4g)", cfg.Scale)
-	header(cfg.Out, "%-8s %-6s %8s %8s %8s %8s %8s %8s", "trace", "task", "LinReg", "LogReg", "SVM", "NN", "GBM", "MAB")
 	sample := 4
 	if cfg.Quick {
 		sample = 16
 	}
-	for _, p := range gen.Profiles {
+	// One job per profile: labelling, event collection and the three
+	// model-fitting tasks all run inside the job, which renders its own
+	// table rows into a buffer so the ordered assembly stays trivial.
+	rows, err := runJobs(cfg, profileJobs(cfg, func(p gen.Profile) (string, error) {
+		var out bytes.Buffer
 		tr, err := getTrace(p, cfg.Scale, cfg.Seeds[0])
 		if err != nil {
-			return err
+			return "", err
 		}
 		wss := tr.ComputeStats().WorkingSetSize
 		capBytes := int64(0.05 * float64(wss))
@@ -177,21 +235,30 @@ func runFig4(cfg Config) error {
 				}
 			}
 			if d.Len() < 100 {
-				fmt.Fprintf(cfg.Out, "%-8s %-6s insufficient data (%d rows)\n", p, task.name, d.Len())
+				fmt.Fprintf(&out, "%-8s %-6s insufficient data (%d rows)\n", p, task.name, d.Len())
 				continue
 			}
 			train, test := d.Split(0.7, cfg.Seeds[0])
 			m, s := train.Standardize()
 			test.ApplyScaling(m, s)
-			fmt.Fprintf(cfg.Out, "%-8s %-6s", p, task.name)
+			fmt.Fprintf(&out, "%-8s %-6s", p, task.name)
 			for _, c := range fig4Models(cfg.Seeds[0], cfg.Quick) {
 				if err := c.Fit(train); err != nil {
-					return fmt.Errorf("fig4 %s/%s/%s: %w", p, task.name, c.Name(), err)
+					return "", fmt.Errorf("fig4 %s/%s/%s: %w", p, task.name, c.Name(), err)
 				}
-				fmt.Fprintf(cfg.Out, " %8.3f", ml.Accuracy(c, test))
+				fmt.Fprintf(&out, " %8.3f", ml.Accuracy(c, test))
 			}
-			fmt.Fprintln(cfg.Out)
+			fmt.Fprintln(&out)
 		}
+		return out.String(), nil
+	}))
+	if err != nil {
+		return err
+	}
+	header(cfg.Out, "# Figure 4 — classifier accuracy (scale %.4g)", cfg.Scale)
+	header(cfg.Out, "%-8s %-6s %8s %8s %8s %8s %8s %8s", "trace", "task", "LinReg", "LogReg", "SVM", "NN", "GBM", "MAB")
+	for _, r := range rows {
+		fmt.Fprint(cfg.Out, r)
 	}
 	return nil
 }

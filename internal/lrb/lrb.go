@@ -11,6 +11,7 @@ package lrb
 import (
 	"math"
 	"math/rand"
+	"sort"
 
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/ml"
@@ -328,16 +329,18 @@ func (l *LRB) pruneWindow() {
 			delete(l.meta, k)
 		}
 	}
+	// Collect expired samples first and label them in sampling order:
+	// label order feeds the training set, and the map's randomised
+	// iteration order would otherwise make the trained model — and so
+	// LRB's miss ratio — vary between identical runs.
+	var expired []pending
 	for k, ps := range l.pend {
 		kept := ps[:0]
 		for _, p := range ps {
 			if p.at >= cut {
 				kept = append(kept, p)
 			} else {
-				// Window expiry: label with the window length (the
-				// relaxed-Belady "beyond boundary" outcome).
-				l.label(p.feat, float64(l.window)*2)
-				l.pendCount--
+				expired = append(expired, p)
 			}
 		}
 		if len(kept) == 0 {
@@ -345,5 +348,12 @@ func (l *LRB) pruneWindow() {
 		} else {
 			l.pend[k] = kept
 		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].at < expired[j].at })
+	for _, p := range expired {
+		// Window expiry: label with the window length (the relaxed-Belady
+		// "beyond boundary" outcome).
+		l.label(p.feat, float64(l.window)*2)
+		l.pendCount--
 	}
 }

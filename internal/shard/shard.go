@@ -15,6 +15,7 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"unsafe"
 
 	"github.com/scip-cache/scip/internal/cache"
 )
@@ -31,12 +32,28 @@ type Cache struct {
 	mask   uint64
 }
 
-// shardSlot pads each shard onto its own cache lines so the mutexes of
-// neighbouring shards do not false-share under contention.
+// slotDataSize is the payload size of a shardSlot, computed from the real
+// field layout rather than a hard-coded guess (the old padding only
+// accounted for the mutex, leaving the 16-byte policy interface to spill
+// onto a neighbour's cache line).
+const slotDataSize = unsafe.Sizeof(struct {
+	mu sync.Mutex
+	p  cache.Policy
+}{})
+
+// slotPad rounds the slot up to a whole number of 64-byte cache lines. It
+// is always in [1, 64] (a payload already at a line boundary gets a full
+// spacer line) so the trailing array is never zero-sized, which would let
+// Go place the next slot's fields flush against this one.
+const slotPad = 64 - slotDataSize%64
+
+// shardSlot pads each shard onto its own cache lines so the hot mutex and
+// policy pointer of neighbouring shards do not false-share under
+// contention. The package test asserts the size is a cache-line multiple.
 type shardSlot struct {
 	mu sync.Mutex
 	p  cache.Policy
-	_  [64 - 8]byte
+	_  [slotPad]byte
 }
 
 // New builds a sharded cache with n shards (rounded up to a power of

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"unsafe"
 
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/core"
@@ -12,6 +13,29 @@ import (
 )
 
 func lruBuilder(capBytes int64, _ int) cache.Policy { return cache.NewLRU(capBytes) }
+
+// TestShardSlotPadding asserts that every shard slot occupies a whole
+// number of cache lines and fully covers its payload, so neighbouring
+// shards in the slot array never share a 64-byte line.
+func TestShardSlotPadding(t *testing.T) {
+	size := unsafe.Sizeof(shardSlot{})
+	if size%64 != 0 {
+		t.Fatalf("shardSlot size %d is not a cache-line multiple", size)
+	}
+	if size < slotDataSize {
+		t.Fatalf("shardSlot size %d smaller than payload %d", size, slotDataSize)
+	}
+	if slotPad < 1 || slotPad > 64 {
+		t.Fatalf("slotPad = %d, want 1..64", slotPad)
+	}
+	// The mutex of slot i+1 must start on a different line than slot i's.
+	var two [2]shardSlot
+	a := uintptr(unsafe.Pointer(&two[0].mu)) / 64
+	b := uintptr(unsafe.Pointer(&two[1].mu)) / 64
+	if a == b {
+		t.Fatal("adjacent shard mutexes share a cache line")
+	}
+}
 
 func scipBuilder(capBytes int64, shard int) cache.Policy {
 	return core.NewCache(capBytes, core.WithSeed(int64(shard)+1), core.WithInterval(2000))
