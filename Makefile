@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test test-race bench bench-figures
+.PHONY: check fmt-check vet build test test-race bench bench-figures load
 
 check: fmt-check vet build test test-race
 
@@ -33,3 +33,9 @@ bench:
 # Full figure regeneration with per-figure timings in BENCH.json.
 bench-figures:
 	$(GO) run ./cmd/scip-bench -scale 0.01 -seeds 2 -json BENCH.json all
+
+# Concurrent load run with the race detector enabled: replays a synthetic
+# CDN-T trace across GOMAXPROCS workers against the sharded SCIP front,
+# printing live snapshots and writing LOAD.json.
+load:
+	$(GO) run -race ./cmd/scip-load -scale 0.01 -shards 8 -repeat 2 -interval 1s -json LOAD.json

@@ -7,14 +7,18 @@ package scip_test
 
 import (
 	"io"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	scip "github.com/scip-cache/scip"
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/exp"
 	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
+	"github.com/scip-cache/scip/internal/stats"
 )
 
 // benchCfg is the reduced-scale configuration the figure benchmarks run.
@@ -215,5 +219,52 @@ func BenchmarkParallelEngineFig8(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkShardedAccessStats measures the cost of the per-access stats
+// instrumentation on the sharded front: the same parallel access pattern
+// with the lock-free counters + latency histogram attached vs bare.
+func BenchmarkShardedAccessStats(b *testing.B) {
+	for _, withStats := range []bool{false, true} {
+		name := "bare"
+		if withStats {
+			name = "instrumented"
+		}
+		b.Run(name, func(b *testing.B) {
+			c, err := shard.New("scip", 1<<24, 16, func(capBytes int64, s int) cache.Policy {
+				return core.NewCache(capBytes, core.WithSeed(int64(s)+1), core.WithInterval(2000))
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if withStats {
+				c.EnableStats()
+			}
+			var ctr atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := ctr.Add(1)
+					c.Access(cache.Request{Time: int64(i), Key: i % 4096, Size: 512})
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkStatsSnapshot measures the lock-free Snapshot read path while
+// counters are hot (the reporter's cost during a load run).
+func BenchmarkStatsSnapshot(b *testing.B) {
+	st := stats.New(64)
+	for i := 0; i < 64; i++ {
+		st.ObserveAccess(i, 512, i%2 == 0, 1<<20, int64(i), time.Microsecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		snap := st.Snapshot()
+		_ = snap.MissRatio()
+		_ = snap.OccupancySkew()
+		_ = snap.LatencyQuantile(0.99)
 	}
 }

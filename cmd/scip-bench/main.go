@@ -15,7 +15,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -24,6 +23,7 @@ import (
 
 	"github.com/scip-cache/scip/internal/exp"
 	"github.com/scip-cache/scip/internal/runner"
+	"github.com/scip-cache/scip/internal/sim"
 )
 
 // benchReport is the BENCH.json document: one timing entry per figure
@@ -115,13 +115,8 @@ func main() {
 	}
 	report.TotalSeconds = time.Since(total).Seconds()
 	if *jsonPath != "" {
-		buf, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "encoding %s: %v\n", *jsonPath, err)
-			os.Exit(1)
-		}
-		if err := os.WriteFile(*jsonPath, append(buf, '\n'), 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+		if err := sim.WriteJSON(*jsonPath, report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		fmt.Printf("timings written to %s (total %.2fs, %d workers)\n",

@@ -1,0 +1,252 @@
+// Command scip-load is a closed-loop concurrent load harness for the
+// sharded cache front: it replays a trace partitioned across N worker
+// goroutines against a sharded policy (SCIP, SCI, LRU, LRB), prints live
+// interval snapshots (request rate, object and byte miss ratio, per-shard
+// occupancy, p50/p99 access latency) and writes a final JSON report in the
+// BENCH.json artefact style.
+//
+// Usage:
+//
+//	scip-load [-profile CDN-T] [-scale 0.01] [-seed 1] [-trace file] [-csv|-lrb]
+//	    [-policy SCIP] [-cache 655MiB] [-shards 8] [-workers N] [-repeat 1]
+//	    [-interval 1s] [-json LOAD.json]
+//
+// The trace is partitioned by shard, not by request index: every shard's
+// request subsequence is replayed in trace order by exactly one worker, so
+// each shard observes the identical access sequence regardless of the
+// worker count and the final miss ratios are byte-identical across
+// -workers 1 and -workers N. Workers are closed-loop: each issues its next
+// request as soon as the previous one completes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/shard"
+	"github.com/scip-cache/scip/internal/sim"
+	"github.com/scip-cache/scip/internal/stats"
+	"github.com/scip-cache/scip/internal/trace"
+)
+
+// buildSharded returns a sharded cache for one of the concurrency-ready
+// policies. Each shard gets its own single-threaded policy instance seeded
+// by its index.
+func buildSharded(policy string, capBytes int64, shards int, seed int64) (*shard.Cache, error) {
+	var build shard.Builder
+	name := strings.ToUpper(policy)
+	switch name {
+	case "SCIP":
+		build = func(b int64, s int) cache.Policy {
+			return core.NewCache(b, core.WithSeed(seed+int64(s)))
+		}
+	case "SCI":
+		build = func(b int64, s int) cache.Policy {
+			return core.NewSCICache(b, core.WithSeed(seed+int64(s)))
+		}
+	case "LRU":
+		build = func(b int64, _ int) cache.Policy { return cache.NewLRU(b) }
+	case "LRB":
+		build = func(b int64, s int) cache.Policy {
+			return lrb.New(b, lrb.WithSeed(seed+int64(s)))
+		}
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU or LRB)", policy)
+	}
+	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build)
+}
+
+// runLoad replays tr against c from `workers` goroutines, each owning the
+// shards whose index ≡ worker (mod workers). It reports interval snapshots
+// to out every `interval` (0 disables) and returns the final cumulative
+// snapshot and the elapsed wall time.
+func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat int, interval time.Duration, out io.Writer) (stats.Snapshot, time.Duration) {
+	st := c.Stats()
+	if st == nil {
+		st = c.EnableStats()
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > c.Shards() {
+		workers = c.Shards() // extra workers would own no shard
+	}
+	if repeat < 1 {
+		repeat = 1
+	}
+	// Precompute each request's shard once; workers then filter the shared
+	// trace instead of materialising per-worker copies.
+	shardOf := make([]int32, len(tr.Requests))
+	for i, req := range tr.Requests {
+		shardOf[i] = int32(c.ShardIndex(req.Key))
+	}
+	// Repeats shift timestamps by the trace span so per-shard time stays
+	// monotonic; the shift is worker-independent, preserving determinism.
+	var span int64
+	if n := len(tr.Requests); n > 0 {
+		span = tr.Requests[n-1].Time + 1
+	}
+
+	stop := make(chan struct{})
+	var reporter sync.WaitGroup
+	start := time.Now()
+	if interval > 0 && out != nil {
+		reporter.Add(1)
+		go func() {
+			defer reporter.Done()
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			prev := st.Snapshot()
+			prevT := time.Now()
+			for {
+				select {
+				case <-stop:
+					return
+				case now := <-tick.C:
+					cur := st.Snapshot()
+					fmt.Fprintln(out, sim.FormatLoadInterval(now.Sub(start), now.Sub(prevT), cur.Sub(prev)))
+					fmt.Fprintln(out, "  "+sim.FormatShardOccupancy(cur))
+					prev, prevT = cur, now
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for rep := 0; rep < repeat; rep++ {
+				off := int64(rep) * span
+				for i, req := range tr.Requests {
+					if int(shardOf[i])%workers != w {
+						continue
+					}
+					req.Time += off
+					c.Access(req)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	close(stop)
+	reporter.Wait()
+	return st.Snapshot(), elapsed
+}
+
+func main() {
+	profile := flag.String("profile", "CDN-T", "synthetic workload profile (CDN-T, CDN-W, CDN-A); ignored with -trace")
+	scale := flag.Float64("scale", 0.01, "synthetic trace scale relative to the paper's workload")
+	seed := flag.Int64("seed", 1, "generation and policy seed")
+	tracePath := flag.String("trace", "", "replay this trace file instead of generating one")
+	csv := flag.Bool("csv", false, "trace file is time,key,size CSV")
+	lrbFmt := flag.Bool("lrb", false, "trace file is LRB-format")
+	policy := flag.String("policy", "SCIP", "sharded policy: SCIP, SCI, LRU or LRB")
+	cacheSize := flag.String("cache", "", "cache capacity (KiB/MiB/GiB suffixes); default: profile's paper-scaled size")
+	shards := flag.Int("shards", 8, "shard count (rounded up to a power of two)")
+	workers := flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS, clamped to the shard count)")
+	repeat := flag.Int("repeat", 1, "replay the trace this many times")
+	interval := flag.Duration("interval", 1*time.Second, "live snapshot period (0 disables)")
+	jsonPath := flag.String("json", "LOAD.json", "write the final report as JSON to this path (empty disables)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	var (
+		tr       *trace.Trace
+		capBytes int64
+		err      error
+	)
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case *csv:
+			tr, err = trace.ReadCSV(f, *tracePath)
+		case *lrbFmt:
+			tr, err = trace.ReadLRB(f, *tracePath)
+		default:
+			tr, err = trace.ReadBinary(f, *tracePath)
+		}
+		f.Close()
+		if err != nil {
+			fail(err)
+		}
+		if *cacheSize == "" {
+			fail(fmt.Errorf("-cache is required with -trace"))
+		}
+	} else {
+		var prof gen.Profile
+		for _, p := range gen.Profiles {
+			if strings.EqualFold(string(p), *profile) {
+				prof = p
+			}
+		}
+		if prof == "" {
+			fail(fmt.Errorf("unknown profile %q (want CDN-T, CDN-W or CDN-A)", *profile))
+		}
+		tr, err = gen.Generate(prof.Config(*scale, *seed))
+		if err != nil {
+			fail(err)
+		}
+		capBytes = prof.CacheBytes(64<<30, *scale)
+	}
+	if *cacheSize != "" {
+		capBytes, err = trace.ParseBytes(*cacheSize)
+		if err != nil {
+			fail(fmt.Errorf("bad -cache: %w", err))
+		}
+	}
+
+	c, err := buildSharded(*policy, capBytes, *shards, *seed)
+	if err != nil {
+		fail(err)
+	}
+	nWorkers := *workers
+	if nWorkers <= 0 {
+		nWorkers = runtime.GOMAXPROCS(0)
+	}
+	fmt.Printf("scip-load: %s  trace=%s (%d requests x%d)  cache=%.1f MiB  shards=%d  workers=%d\n",
+		c.Name(), tr.Name, len(tr.Requests), *repeat, float64(capBytes)/(1<<20), c.Shards(), min(nWorkers, c.Shards()))
+
+	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *interval, os.Stdout)
+
+	rep := sim.BuildLoadReport(snap, elapsed)
+	rep.GeneratedUnix = time.Now().Unix()
+	rep.Trace = tr.Name
+	rep.Policy = c.Name()
+	rep.CacheBytes = capBytes
+	rep.Shards = c.Shards()
+	rep.Workers = min(nWorkers, c.Shards())
+	rep.GoMaxProcs = runtime.GOMAXPROCS(0)
+	rep.Repeat = *repeat
+
+	fmt.Printf("done: %d requests in %.2fs (%.0f req/s)  miss=%.4f byteMiss=%.4f  occSkew=%.3f  p50=%s p99=%s\n",
+		rep.Requests, rep.TotalSeconds, rep.RPS, rep.MissRatio, rep.ByteMissRatio,
+		rep.OccupancySkew,
+		snap.LatencyQuantile(0.50).Round(time.Nanosecond),
+		snap.LatencyQuantile(0.99).Round(time.Nanosecond))
+	if *jsonPath != "" {
+		if err := sim.WriteJSON(*jsonPath, rep); err != nil {
+			fail(err)
+		}
+		fmt.Printf("report written to %s\n", *jsonPath)
+	}
+}

@@ -40,6 +40,15 @@ type Resetter interface {
 	Reset()
 }
 
+// EvictionCounter is implemented by policies that track their cumulative
+// eviction count. The sharded front uses it to export per-shard eviction
+// counters without a per-eviction callback on the hot path.
+type EvictionCounter interface {
+	// Evictions returns the number of objects evicted since construction
+	// (or the last Reset).
+	Evictions() int64
+}
+
 // Position is a queue insertion position chosen by an insertion policy.
 type Position int
 

@@ -33,17 +33,19 @@ func (h *History) Contains(key uint64) bool {
 }
 
 // Add records an evicted object, evicting the oldest records as needed to
-// respect the byte budget. If the key is already present its record is
-// refreshed (moved to the MRU end with the new size). res records how the
-// evicted residency began, so a later lookup can attribute the evidence to
-// the right learning context.
+// respect the byte budget. If the key is already present its record keeps
+// its original FIFO age — Algorithm 1's history is FIFO, not LRU, so a
+// re-evicted object must not have its remaining history lifetime renewed;
+// only its size and residency metadata are refreshed in place. res records
+// how the evicted residency began, so a later lookup can attribute the
+// evidence to the right learning context.
 func (h *History) Add(key uint64, size int64, res Residency) {
 	if h.cap <= 0 || size > h.cap {
 		return
 	}
 	if e, ok := h.index[key]; ok {
-		h.q.Remove(e)
-		delete(h.index, key)
+		h.refresh(e, size, res)
+		return
 	}
 	for h.q.Bytes()+size > h.cap {
 		old := h.q.Back()
@@ -53,6 +55,30 @@ func (h *History) Add(key uint64, size int64, res Residency) {
 	e := &Entry{Key: key, Size: size, Residency: res}
 	h.q.PushFront(e)
 	h.index[key] = e
+}
+
+// refresh updates a present record's size and residency without changing
+// its queue position (its FIFO age). A size change re-links the entry at
+// the same position to keep the queue's byte accounting exact, then trims
+// from the LRU end if the growth pushed the list over budget — which may
+// evict the refreshed record itself when it is the oldest.
+func (h *History) refresh(e *Entry, size int64, res Residency) {
+	e.Residency = res
+	if e.Size != size {
+		next := e.Next()
+		h.q.Remove(e)
+		e.Size = size
+		if next != nil {
+			h.q.InsertBefore(e, next)
+		} else {
+			h.q.PushBack(e)
+		}
+	}
+	for h.q.Bytes() > h.cap {
+		old := h.q.Back()
+		h.q.Remove(old)
+		delete(h.index, old.Key)
+	}
 }
 
 // Delete removes all information about key (Algorithm 1, DELETE),

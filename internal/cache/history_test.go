@@ -42,17 +42,55 @@ func TestHistoryFIFOEviction(t *testing.T) {
 	}
 }
 
-func TestHistoryRefreshMovesToFront(t *testing.T) {
+// TestHistoryRefreshKeepsFIFOAge pins the duplicate-Add semantics:
+// Algorithm 1's history is FIFO, so re-adding a present key must NOT renew
+// its age. Key 1 stays the oldest record through a refresh and is still
+// the first to be evicted. (The old remove-then-reinsert implementation
+// moved it to the front and evicted 2 instead.)
+func TestHistoryRefreshKeepsFIFOAge(t *testing.T) {
 	h := NewHistory(100)
 	h.Add(1, 40, ResInserted)
 	h.Add(2, 40, ResInserted)
-	h.Add(1, 40, ResInserted) // refresh: 1 becomes newest
-	h.Add(3, 40, ResInserted) // evicts 2, the now-oldest
-	if h.Contains(2) {
-		t.Fatal("refreshed ordering ignored: 2 should have been evicted")
+	h.Add(1, 40, ResFirstHit) // refresh: age unchanged, 1 is still oldest
+	if h.Len() != 2 || h.Bytes() != 80 {
+		t.Fatalf("refresh duplicated the record: Len=%d Bytes=%d", h.Len(), h.Bytes())
 	}
-	if !h.Contains(1) || !h.Contains(3) {
+	h.Add(3, 40, ResInserted) // evicts 1, the oldest
+	if h.Contains(1) {
+		t.Fatal("FIFO age renewed on refresh: 1 should have been evicted first")
+	}
+	if !h.Contains(2) || !h.Contains(3) {
 		t.Fatal("expected keys missing")
+	}
+}
+
+// TestHistoryRefreshUpdatesMetadata checks that a duplicate Add refreshes
+// size and residency in place.
+func TestHistoryRefreshUpdatesMetadata(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 10, ResInserted)
+	h.Add(2, 10, ResInserted)
+	h.Add(1, 30, ResRepeat)
+	if h.Bytes() != 40 {
+		t.Fatalf("Bytes=%d, want 40 after size refresh", h.Bytes())
+	}
+	if res, ok := h.Delete(1); !ok || res != ResRepeat {
+		t.Fatalf("Delete(1) = %v,%v, want ResRepeat,true", res, ok)
+	}
+}
+
+// TestHistoryRefreshGrowthEvictsSelf: growing the oldest record over
+// budget evicts from the LRU end, which is the refreshed record itself.
+func TestHistoryRefreshGrowthEvictsSelf(t *testing.T) {
+	h := NewHistory(100)
+	h.Add(1, 40, ResInserted)
+	h.Add(2, 40, ResInserted)
+	h.Add(1, 70, ResInserted) // 70+40 > 100: oldest (1 itself) must go
+	if h.Contains(1) {
+		t.Fatal("over-budget refreshed record not evicted")
+	}
+	if !h.Contains(2) || h.Bytes() != 40 {
+		t.Fatalf("wrong survivor set: Contains(2)=%v Bytes=%d", h.Contains(2), h.Bytes())
 	}
 }
 
@@ -103,6 +141,106 @@ func TestHistoryNeverExceedsCapacity(t *testing.T) {
 			t.Fatal("byte accounting broken")
 		}
 	}
+}
+
+// checkHistoryInvariants cross-checks the queue and the index: same
+// population, same entries, exact byte accounting, budget respected.
+func checkHistoryInvariants(t *testing.T, h *History) {
+	t.Helper()
+	if h.Bytes() > h.Capacity() && h.Capacity() > 0 {
+		t.Fatalf("byte budget exceeded: %d > %d", h.Bytes(), h.Capacity())
+	}
+	if h.Len() != len(h.index) {
+		t.Fatalf("queue length %d != index size %d", h.Len(), len(h.index))
+	}
+	var bytes int64
+	n := 0
+	for e := h.q.Front(); e != nil; e = e.Next() {
+		n++
+		bytes += e.Size
+		if ie, ok := h.index[e.Key]; !ok || ie != e {
+			t.Fatalf("queue entry %d not (or wrongly) indexed", e.Key)
+		}
+	}
+	if n != h.Len() {
+		t.Fatalf("queue walk found %d entries, Len() says %d", n, h.Len())
+	}
+	if bytes != h.Bytes() {
+		t.Fatalf("queue walk bytes %d != Bytes() %d", bytes, h.Bytes())
+	}
+}
+
+// TestHistoryPropertyRandomOps drives a History with random Add/Delete/
+// Reset sequences while checking, after every operation, that the byte
+// budget is never exceeded, the index and the queue agree, and that a
+// Delete immediately after an Add round-trips the residency.
+func TestHistoryPropertyRandomOps(t *testing.T) {
+	for _, capBytes := range []int64{1, 64, 1000, 1 << 20} {
+		rng := rand.New(rand.NewSource(capBytes))
+		h := NewHistory(capBytes)
+		for i := 0; i < 5000; i++ {
+			key := uint64(rng.Intn(200))
+			switch op := rng.Intn(10); {
+			case op < 6: // Add
+				size := int64(rng.Intn(2000) + 1)
+				res := Residency(rng.Intn(3))
+				h.Add(key, size, res)
+				if size <= capBytes && h.Contains(key) {
+					// Residency must round-trip through Delete...
+					got, ok := h.Delete(key)
+					if !ok || got != res {
+						t.Fatalf("op %d: Delete(%d) = %v,%v after Add(res=%v)", i, key, got, ok, res)
+					}
+					if h.Contains(key) {
+						t.Fatalf("op %d: key %d still present after Delete", i, key)
+					}
+					// ...and the record is restored for the next ops.
+					h.Add(key, size, res)
+				}
+			case op < 9: // Delete
+				had := h.Contains(key)
+				if _, ok := h.Delete(key); ok != had {
+					t.Fatalf("op %d: Delete(%d) = %v, Contains said %v", i, key, ok, had)
+				}
+			default:
+				h.Reset()
+			}
+			checkHistoryInvariants(t, h)
+		}
+	}
+}
+
+// FuzzHistory feeds arbitrary operation tapes to a History and checks the
+// structural invariants after every step.
+func FuzzHistory(f *testing.F) {
+	f.Add(int64(100), []byte{0, 1, 2, 3, 0, 0, 1})
+	f.Add(int64(1), []byte{0, 0, 0})
+	f.Add(int64(1<<16), []byte{5, 9, 13, 2, 2, 2, 7, 7})
+	f.Fuzz(func(t *testing.T, capBytes int64, tape []byte) {
+		if capBytes < 0 || capBytes > 1<<40 {
+			t.Skip()
+		}
+		h := NewHistory(capBytes)
+		for i := 0; i+2 < len(tape); i += 3 {
+			key := uint64(tape[i] % 32)
+			size := int64(tape[i+1])*16 + 1
+			switch tape[i+2] % 4 {
+			case 0, 1:
+				h.Add(key, size, Residency(tape[i+2]%3))
+			case 2:
+				h.Delete(key)
+			case 3:
+				h.Add(key, size, ResInserted)
+				h.Add(key, size*2, ResRepeat) // duplicate-Add path
+			}
+			if h.Bytes() > capBytes && capBytes > 0 {
+				t.Fatalf("budget exceeded: %d > %d", h.Bytes(), capBytes)
+			}
+			if h.Len() != len(h.index) {
+				t.Fatalf("queue/index disagree: %d vs %d", h.Len(), len(h.index))
+			}
+		}
+	})
 }
 
 func TestHistoryResidencyRoundTrip(t *testing.T) {

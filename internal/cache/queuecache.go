@@ -16,6 +16,8 @@ type QueueCache struct {
 	// construction/SetInsertion time so the per-hit path carries no type
 	// assertion.
 	resObs ResidencyObserver
+	// evictions counts objects evicted since construction or Reset.
+	evictions int64
 	// free is the eviction-fed Entry freelist (linked through Entry.next):
 	// steady-state misses reuse the entry their eviction just released
 	// instead of allocating. Entries on the freelist are recycled — an
@@ -78,6 +80,9 @@ func (c *QueueCache) Used() int64 { return c.q.Bytes() }
 
 // Len returns the number of cached objects.
 func (c *QueueCache) Len() int { return c.q.Len() }
+
+// Evictions implements EvictionCounter.
+func (c *QueueCache) Evictions() int64 { return c.evictions }
 
 // Contains reports whether key is cached without touching recency state.
 func (c *QueueCache) Contains(key uint64) bool {
@@ -190,6 +195,7 @@ func (c *QueueCache) evictOne() {
 	}
 	c.q.Remove(victim)
 	delete(c.index, victim.Key)
+	c.evictions++
 	if c.ins != nil {
 		c.ins.OnEvict(EvictInfo{
 			Key:         victim.Key,
@@ -212,6 +218,7 @@ func (c *QueueCache) Reset() {
 	c.q = Queue{}
 	clear(c.index)
 	c.free = nil
+	c.evictions = 0
 	if r, ok := c.ins.(Resetter); ok && c.ins != nil {
 		r.Reset()
 	}

@@ -94,15 +94,16 @@ type LRB struct {
 	// MaxTrain caps the training set (default 8192).
 	MaxTrain int
 
-	name   string
-	cap    int64
-	bytes  int64
-	window int64
-	seed   int64
-	seq    int64
-	meta   map[uint64]*objMeta
-	cached []*objMeta // sampler over cached objects
-	rng    *rand.Rand
+	name      string
+	cap       int64
+	bytes     int64
+	evictions int64
+	window    int64
+	seed      int64
+	seq       int64
+	meta      map[uint64]*objMeta
+	cached    []*objMeta // sampler over cached objects
+	rng       *rand.Rand
 
 	pend      map[uint64][]pending
 	pendCount int
@@ -148,6 +149,9 @@ func (l *LRB) Used() int64 { return l.bytes }
 
 // Trained reports whether a model has been fit (diagnostics).
 func (l *LRB) Trained() bool { return l.model != nil }
+
+// Evictions implements cache.EvictionCounter.
+func (l *LRB) Evictions() int64 { return l.evictions }
 
 // features builds the feature vector for m at the current sequence time.
 func (l *LRB) features(m *objMeta) []float64 {
@@ -298,6 +302,7 @@ func (l *LRB) evictOne() {
 		}
 	}
 	l.removeCached(victim)
+	l.evictions++
 	if l.ins != nil {
 		l.ins.OnEvict(cache.EvictInfo{
 			Key:         victim.key,

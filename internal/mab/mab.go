@@ -86,7 +86,16 @@ type AdaptiveRate struct {
 	prevHitRate float64 // Π_{t−i}
 	unlearn     int
 	initialized bool
+	probeUp     bool // direction of the next deterministic probe
 }
+
+// ProbeFrac is the relative step applied to λ when the hill climber has no
+// gradient to follow (δ_t == 0). Without it the controller freezes: once
+// newLambda == Lambda for a single interval, δ stays 0 forever and only a
+// random restart could unstick λ. The probe re-seeds the finite
+// difference deterministically, alternating direction so λ does not creep
+// toward a bound under pure stagnation.
+const ProbeFrac = 0.05
 
 // NewAdaptiveRate returns a controller with the paper's defaults except
 // for the λ floor: the paper's 0.001 effectively freezes all weight
@@ -136,11 +145,17 @@ func (a *AdaptiveRate) Update(hitRate float64) float64 {
 		} else {
 			newLambda = math.Max(a.Lambda+a.Lambda*ratio, a.Min)
 		}
+	} else {
+		// No gradient to follow: probe. A zero δ would otherwise
+		// propagate forever (λ_t == λ_{t−i} ⇒ δ_{t+i} == 0).
+		newLambda = a.probe()
 	}
-	// Random restart after RestartAfter consecutive non-improving
+	// Random restart after RestartAfter consecutive strictly degrading
 	// intervals ("if the performance keeps degrading, we reset the
-	// learning rate", Algorithm 2 lines 10–15).
-	if hitRate == 0 || delta <= 0 {
+	// learning rate", Algorithm 2 lines 10–15). A merely equal hit rate
+	// is stagnation, not degradation — the probe handles it — so only
+	// strict decreases (or a dead cache, Π_t == 0) advance the counter.
+	if hitRate == 0 || delta < 0 {
 		a.unlearn++
 		if a.unlearn >= a.RestartAfter {
 			a.unlearn = 0
@@ -153,6 +168,28 @@ func (a *AdaptiveRate) Update(hitRate float64) float64 {
 	a.Lambda = newLambda
 	a.prevHitRate = hitRate
 	return a.Lambda
+}
+
+// probe returns λ nudged by ±ProbeFrac, alternating direction each call
+// and bouncing off the [Min, Max] bounds, so a stalled climber always
+// re-establishes a non-zero δ for the next interval's finite difference.
+func (a *AdaptiveRate) probe() float64 {
+	step := a.Lambda * ProbeFrac
+	if step == 0 {
+		step = ProbeFrac * a.Min
+	}
+	up := a.probeUp
+	a.probeUp = !a.probeUp
+	if up {
+		if next := a.Lambda + step; next <= a.Max {
+			return next
+		}
+		return math.Max(a.Lambda-step, a.Min)
+	}
+	if next := a.Lambda - step; next >= a.Min {
+		return next
+	}
+	return math.Min(a.Lambda+step, a.Max)
 }
 
 func (a *AdaptiveRate) restartValue() float64 {

@@ -144,60 +144,123 @@ func TestAdaptiveRateClamps(t *testing.T) {
 	}
 }
 
-func TestAdaptiveRateRandomRestart(t *testing.T) {
-	rng := rand.New(rand.NewSource(1))
-	a := NewAdaptiveRate(rng.Float64)
-	// Force λ to a stagnant state: identical λ and non-improving hit rate.
+// TestAdaptiveRateProbeUnfreezes is the regression test for the λ-freeze
+// bug: once newLambda == Lambda for a single interval, δ_t is 0 forever and
+// the old code never moved λ again (the random restart could not fire while
+// the hit rate was non-degrading). The probe step must unstick λ on the
+// very next update.
+func TestAdaptiveRateProbeUnfreezes(t *testing.T) {
+	a := NewAdaptiveRate(nil)
 	a.Update(0.5)
-	a.prevLambda = a.Lambda // δ = 0 from now on
-	restarted := false
+	a.prevLambda = a.Lambda // δ = 0: the frozen state
 	before := a.Lambda
-	for i := 0; i < 25; i++ {
-		l := a.Update(0.5) // Δ = 0 → stagnation
-		a.prevLambda = a.Lambda
-		if l != before {
-			restarted = true
-			break
+	l := a.Update(0.6) // improving, so no restart path can help
+	if l == before {
+		t.Fatalf("λ frozen at %g despite δ=0 (probe did not fire)", l)
+	}
+	if a.Lambda < a.Min || a.Lambda > a.Max {
+		t.Fatalf("probe pushed λ out of bounds: %g", a.Lambda)
+	}
+	// The probe must re-establish a finite difference: the following
+	// update has δ != 0 and hill-climbs normally.
+	if a.Lambda == a.prevLambda {
+		t.Fatal("probe did not re-seed δ for the next interval")
+	}
+}
+
+// TestAdaptiveRateProbeAlternates: under pure stagnation (δ repeatedly
+// forced to 0) the deterministic probe alternates direction instead of
+// creeping monotonically toward a bound.
+func TestAdaptiveRateProbeAlternates(t *testing.T) {
+	a := NewAdaptiveRate(nil)
+	a.Update(0.5)
+	var deltas []float64
+	for i := 0; i < 4; i++ {
+		a.prevLambda = a.Lambda // force δ = 0 each interval
+		before := a.Lambda
+		a.Update(0.5)
+		deltas = append(deltas, a.Lambda-before)
+	}
+	for i, d := range deltas {
+		if d == 0 {
+			t.Fatalf("probe %d did not move λ", i)
+		}
+		if i > 0 && (d > 0) == (deltas[i-1] > 0) {
+			t.Fatalf("probes %d and %d moved the same direction: %v", i-1, i, deltas)
 		}
 	}
-	if !restarted {
-		t.Fatal("no random restart after prolonged stagnation")
+}
+
+// TestAdaptiveRateEqualHitRateIsNotDegradation is the regression test for
+// the restart counter: a merely equal hit rate (Δ == 0) must not advance
+// unlearnCount — the old `delta <= 0` check random-restarted a perfectly
+// stable cache every RestartAfter intervals.
+func TestAdaptiveRateEqualHitRateIsNotDegradation(t *testing.T) {
+	a := NewAdaptiveRate(nil)
+	a.Update(0.5)
+	for i := 0; i < a.RestartAfter/2; i++ {
+		a.Update(0.5) // Δ = 0 every interval
+	}
+	if a.unlearn != 0 {
+		t.Fatalf("unlearn = %d after equal-hit-rate intervals, want 0", a.unlearn)
+	}
+}
+
+// TestAdaptiveRateRestartAfterStrictDecreases: RestartAfter consecutive
+// strictly degrading intervals trigger a restart (midpoint with nil Rand).
+func TestAdaptiveRateRestartAfterStrictDecreases(t *testing.T) {
+	a := NewAdaptiveRate(nil)
+	hr := 0.9
+	a.Update(hr)
+	for i := 0; i < a.RestartAfter-1; i++ {
+		hr -= 0.01
+		a.Update(hr)
+	}
+	if a.unlearn != a.RestartAfter-1 {
+		t.Fatalf("unlearn = %d, want %d", a.unlearn, a.RestartAfter-1)
+	}
+	hr -= 0.01
+	a.Update(hr) // the RestartAfter-th strict decrease fires the restart
+	mid := (a.Min + a.Max) / 2
+	if a.Lambda != mid {
+		t.Fatalf("nil-rand restart should land on midpoint %g, got %g", mid, a.Lambda)
+	}
+	if a.unlearn != 0 {
+		t.Fatalf("unlearn = %d after restart, want 0", a.unlearn)
+	}
+}
+
+func TestAdaptiveRateRandomRestartInBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := NewAdaptiveRate(rng.Float64)
+	hr := 0.9
+	a.Update(hr)
+	for i := 0; i < a.RestartAfter; i++ {
+		hr -= 0.01
+		a.Update(hr)
+	}
+	if a.unlearn != 0 {
+		t.Fatalf("restart did not fire: unlearn = %d", a.unlearn)
 	}
 	if a.Lambda < a.Min || a.Lambda > a.Max {
 		t.Fatalf("restart λ out of bounds: %g", a.Lambda)
 	}
 }
 
-func TestAdaptiveRateRestartWithoutRand(t *testing.T) {
-	a := NewAdaptiveRate(nil)
-	a.Update(0.5)
-	a.prevLambda = a.Lambda
-	for i := 0; i < 15; i++ {
-		a.Update(0.5)
-		a.prevLambda = a.Lambda
-	}
-	mid := (a.Min + a.Max) / 2
-	if a.Lambda != mid {
-		t.Fatalf("nil-rand restart should use midpoint %g, got %g", mid, a.Lambda)
-	}
-}
-
 func TestAdaptiveRateStagnationCounterResets(t *testing.T) {
 	a := NewAdaptiveRate(nil)
-	a.Update(0.5)
-	a.prevLambda = a.Lambda
+	hr := 0.9
+	a.Update(hr)
 	for i := 0; i < 5; i++ {
-		a.Update(0.5)
-		a.prevLambda = a.Lambda
+		hr -= 0.01
+		a.Update(hr) // strict decreases advance the counter
 	}
 	if a.unlearn != 5 {
 		t.Fatalf("unlearn = %d, want 5", a.unlearn)
 	}
-	// A gradient step resets the counter.
-	a.prevLambda = a.Lambda - 0.01
-	a.Update(0.6)
+	a.Update(hr + 0.05) // an improving interval resets it
 	if a.unlearn != 0 {
-		t.Fatalf("unlearn not reset on gradient step: %d", a.unlearn)
+		t.Fatalf("unlearn not reset on improvement: %d", a.unlearn)
 	}
 }
 

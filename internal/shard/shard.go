@@ -15,9 +15,11 @@ package shard
 import (
 	"fmt"
 	"sync"
+	"time"
 	"unsafe"
 
 	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/stats"
 )
 
 // Builder constructs one shard's policy given the shard's byte budget and
@@ -30,6 +32,12 @@ type Cache struct {
 	name   string
 	shards []shardSlot
 	mask   uint64
+
+	// st, when non-nil, receives per-access observations (counters and
+	// latency). evc caches each shard policy's EvictionCounter side so
+	// the hot path carries no type assertion.
+	st  *stats.Stats
+	evc []cache.EvictionCounter
 }
 
 // slotDataSize is the payload size of a shardSlot, computed from the real
@@ -74,11 +82,17 @@ func New(name string, capBytes int64, n int, build Builder) (*Cache, error) {
 		shards: make([]shardSlot, size),
 		mask:   uint64(size - 1),
 	}
-	per := capBytes / int64(size)
-	if per < 1 {
-		per = 1
-	}
+	// Split the byte budget exactly: base bytes per shard, with the
+	// remainder distributed one byte each to the first capBytes%size
+	// shards, so sum(shard capacities) == capBytes and Capacity() reports
+	// the budget the caller asked for.
+	base := capBytes / int64(size)
+	rem := capBytes % int64(size)
 	for i := range c.shards {
+		per := base
+		if int64(i) < rem {
+			per++
+		}
 		c.shards[i].p = build(per, i)
 		if c.shards[i].p == nil {
 			return nil, fmt.Errorf("shard: builder returned nil for shard %d", i)
@@ -93,18 +107,50 @@ func (c *Cache) Shards() int { return len(c.shards) }
 // Name implements cache.Policy.
 func (c *Cache) Name() string { return c.name }
 
-// shardFor hashes a key onto a shard.
-func (c *Cache) shardFor(key uint64) *shardSlot {
+// EnableStats attaches (and returns) a per-shard stats block. Every
+// subsequent Access records its outcome, the shard's occupancy and
+// eviction count, and the access latency. Must be called before the cache
+// is shared between goroutines; it is not synchronised with Access.
+func (c *Cache) EnableStats() *stats.Stats {
+	c.st = stats.New(len(c.shards))
+	c.evc = make([]cache.EvictionCounter, len(c.shards))
+	for i := range c.shards {
+		c.evc[i], _ = c.shards[i].p.(cache.EvictionCounter)
+	}
+	return c.st
+}
+
+// Stats returns the attached stats block, or nil.
+func (c *Cache) Stats() *stats.Stats { return c.st }
+
+// ShardIndex returns the shard the key is routed to. Load drivers use it
+// to partition a trace by shard so per-shard request order (and therefore
+// every per-shard policy decision) is independent of the worker count.
+func (c *Cache) ShardIndex(key uint64) int {
 	h := key * 0x9E3779B97F4A7C15
-	return &c.shards[(h>>40)&c.mask]
+	return int((h >> 40) & c.mask)
 }
 
 // Access implements cache.Policy; safe for concurrent use.
 func (c *Cache) Access(req cache.Request) bool {
-	s := c.shardFor(req.Key)
+	idx := c.ShardIndex(req.Key)
+	s := &c.shards[idx]
+	if c.st == nil {
+		s.mu.Lock()
+		hit := s.p.Access(req)
+		s.mu.Unlock()
+		return hit
+	}
+	start := time.Now()
 	s.mu.Lock()
 	hit := s.p.Access(req)
+	used := s.p.Used()
+	var ev int64
+	if ec := c.evc[idx]; ec != nil {
+		ev = ec.Evictions()
+	}
 	s.mu.Unlock()
+	c.st.ObserveAccess(idx, req.Size, hit, used, ev, time.Since(start))
 	return hit
 }
 
@@ -133,7 +179,23 @@ func (c *Cache) Capacity() int64 {
 	return total
 }
 
-// Reset resets every shard whose policy supports it.
+// Evictions implements cache.EvictionCounter: the sum over shards that
+// expose a counter (each read under its own lock).
+func (c *Cache) Evictions() int64 {
+	var total int64
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.Lock()
+		if ec, ok := s.p.(cache.EvictionCounter); ok {
+			total += ec.Evictions()
+		}
+		s.mu.Unlock()
+	}
+	return total
+}
+
+// Reset resets every shard whose policy supports it, and the attached
+// stats block if any.
 func (c *Cache) Reset() {
 	for i := range c.shards {
 		s := &c.shards[i]
@@ -143,6 +205,12 @@ func (c *Cache) Reset() {
 		}
 		s.mu.Unlock()
 	}
+	if c.st != nil {
+		c.st.Reset()
+	}
 }
 
-var _ cache.Policy = (*Cache)(nil)
+var (
+	_ cache.Policy          = (*Cache)(nil)
+	_ cache.EvictionCounter = (*Cache)(nil)
+)

@@ -10,6 +10,7 @@ import (
 	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/gen"
 	"github.com/scip-cache/scip/internal/sim"
+	"github.com/scip-cache/scip/internal/stats"
 )
 
 func lruBuilder(capBytes int64, _ int) cache.Policy { return cache.NewLRU(capBytes) }
@@ -63,6 +64,64 @@ func TestShardCountRoundsUp(t *testing.T) {
 	}
 	if c.Capacity() != (1<<20)/8*8 {
 		t.Fatalf("capacity = %d", c.Capacity())
+	}
+}
+
+// TestCapacitySplitExact is the regression test for the remainder-drop
+// bug: shard.New used capBytes/size per shard, so any budget not divisible
+// by the shard count silently shrank the cache and Capacity() disagreed
+// with the requested budget. The split must now be exact for every budget.
+func TestCapacitySplitExact(t *testing.T) {
+	cases := []struct {
+		name     string
+		capBytes int64
+		n        int
+		shards   int
+	}{
+		{"divisible", 1 << 20, 8, 8},
+		{"remainder", 1<<30 + 7, 8, 8},
+		{"prime budget", 1_000_003, 16, 16},
+		{"one shard", 12345, 1, 1},
+		{"round up with remainder", 1000, 5, 8},
+		{"budget smaller than shards", 5, 8, 8},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var mu sync.Mutex
+			perShard := map[int]int64{}
+			c, err := New("x", tc.capBytes, tc.n, func(capBytes int64, shard int) cache.Policy {
+				mu.Lock()
+				perShard[shard] = capBytes
+				mu.Unlock()
+				return cache.NewLRU(capBytes)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if c.Shards() != tc.shards {
+				t.Fatalf("shards = %d, want %d", c.Shards(), tc.shards)
+			}
+			var sum int64
+			var min, max int64 = 1 << 62, -1
+			for _, b := range perShard {
+				sum += b
+				if b < min {
+					min = b
+				}
+				if b > max {
+					max = b
+				}
+			}
+			if sum != tc.capBytes {
+				t.Fatalf("sum(shard capacities) = %d, want %d", sum, tc.capBytes)
+			}
+			if max-min > 1 {
+				t.Fatalf("uneven split: min %d max %d", min, max)
+			}
+			if c.Capacity() != tc.capBytes {
+				t.Fatalf("Capacity() = %d, want requested budget %d", c.Capacity(), tc.capBytes)
+			}
+		})
 	}
 }
 
@@ -152,6 +211,110 @@ func TestShardingMissRatioPenalty(t *testing.T) {
 	sh := sim.Run(tr, sharded, opts)
 	if sh.MissRatio() > mono.MissRatio()+0.02 {
 		t.Fatalf("sharding penalty too high: %.4f vs %.4f", sh.MissRatio(), mono.MissRatio())
+	}
+}
+
+// TestStatsWiring checks that an attached stats block observes every
+// access with the correct hit/byte accounting and occupancy/eviction
+// gauges, on the shard the key actually routes to.
+func TestStatsWiring(t *testing.T) {
+	c, err := New("x", 1<<20, 4, lruBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.EnableStats()
+	if c.Stats() != st {
+		t.Fatal("Stats() accessor disagrees with EnableStats")
+	}
+	reqs := []cache.Request{
+		{Time: 1, Key: 1, Size: 100},
+		{Time: 2, Key: 1, Size: 100}, // hit
+		{Time: 3, Key: 2, Size: 50},
+	}
+	for _, r := range reqs {
+		c.Access(r)
+	}
+	snap := st.Snapshot()
+	tot := snap.Totals()
+	if tot.Requests != 3 || tot.Hits != 1 {
+		t.Fatalf("totals = %+v", tot)
+	}
+	if tot.BytesRequested != 250 || tot.BytesHit != 100 {
+		t.Fatalf("byte totals = %+v", tot)
+	}
+	if tot.UsedBytes != c.Used() {
+		t.Fatalf("UsedBytes gauge %d != Used() %d", tot.UsedBytes, c.Used())
+	}
+	if snap.LatencySamples() != 3 {
+		t.Fatalf("latency samples = %d", snap.LatencySamples())
+	}
+	idx := c.ShardIndex(1)
+	if got := snap.Shards[idx].Hits; got != 1 {
+		t.Fatalf("hit recorded on wrong shard: shard %d has %d hits", idx, got)
+	}
+	c.Reset()
+	if st.Snapshot().Totals() != (stats.ShardSnapshot{}) {
+		t.Fatal("Reset did not clear the stats block")
+	}
+}
+
+// TestStatsEvictionCounter fills a tiny sharded cache past capacity and
+// checks the eviction gauges flow through from the shard policies.
+func TestStatsEvictionCounter(t *testing.T) {
+	c, err := New("x", 4096, 2, lruBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.EnableStats()
+	for i := 0; i < 256; i++ {
+		c.Access(cache.Request{Time: int64(i), Key: uint64(i), Size: 512})
+	}
+	if c.Evictions() == 0 {
+		t.Fatal("no evictions despite 32x oversubscription")
+	}
+	if got := st.Snapshot().Totals().Evictions; got != c.Evictions() {
+		t.Fatalf("stats evictions %d != policy evictions %d", got, c.Evictions())
+	}
+}
+
+// TestConcurrentAccessUsedReset hammers Access, Used, Capacity, Evictions
+// and Reset from 8 goroutines with stats attached; run with -race to
+// verify the locking discipline end to end.
+func TestConcurrentAccessUsedReset(t *testing.T) {
+	c, err := New("scip", 1<<22, 8, scipBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.EnableStats()
+	const (
+		workers = 8
+		perW    = 10_000
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				switch {
+				case i%1000 == 999 && w == 0:
+					c.Reset()
+				case i%100 == 99:
+					if c.Used() > c.Capacity() {
+						t.Error("Used exceeds Capacity")
+						return
+					}
+					_ = c.Evictions()
+					_ = st.Snapshot().OccupancySkew()
+				default:
+					c.Access(cache.Request{Time: int64(i), Key: uint64((w*perW + i) % 1000), Size: 256})
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tot := st.Snapshot().Totals(); tot.Requests == 0 {
+		t.Fatal("stats recorded no requests")
 	}
 }
 
