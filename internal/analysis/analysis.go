@@ -1,0 +1,214 @@
+// Package analysis is a from-scratch static-analysis framework on the
+// standard library's go/parser and go/types (no golang.org/x/tools
+// dependency; the module stays stdlib-only). It exists to mechanically
+// enforce the two invariant classes this repository's correctness rests
+// on and that have already produced real bugs:
+//
+//   - bit-for-bit deterministic replay: Algorithms 1+2 sample a seeded
+//     MAB, so every source of nondeterminism — ambient RNGs, wall-clock
+//     reads, map iteration order feeding ordered state — silently breaks
+//     figure reproduction (the PR-1 LRB pruneWindow bug labelled training
+//     samples in map order);
+//   - lock-free concurrency: the sharded front and its stats blocks rely
+//     on cache-line-padded structs and atomic counters that must never be
+//     copied or mixed with plain loads and stores (the PR-1 traceCache
+//     map race).
+//
+// The cmd/scip-vet driver loads the module, runs every registered
+// analyzer over the requested packages and exits nonzero on any
+// diagnostic. Intentional exceptions are declared in the code with a
+// //scip:<token> comment carrying a justification; see Analyzer.Suppress
+// and DESIGN.md §7 ("Invariants").
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics ("detrand", ...).
+	Name string
+	// Doc is a one-paragraph description of the invariant enforced.
+	Doc string
+	// Suppress lists the //scip: comment tokens that silence this
+	// analyzer's diagnostics (e.g. "ordered-ok"). A suppression comment
+	// must carry a justification after the token.
+	Suppress []string
+	// Run inspects the package and reports diagnostics via pass.Reportf.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags []Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the driver's file:line: analyzer: message format.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// TypeOf returns the type of e, or nil.
+func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
+
+// ObjectOf resolves an identifier to its object, or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
+
+// Run executes the analyzer over pkg and returns the surviving
+// diagnostics: findings on lines covered by a justified suppression
+// comment are dropped, and suppression comments without a justification
+// are themselves reported (an exception must say why it is safe).
+func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+	}
+	a.Run(pass)
+	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	var out []Diagnostic
+	for _, d := range pass.diags {
+		if s := sup.match(a, d.Pos); s != nil {
+			s.used = true
+			if s.justification == "" {
+				d.Message = fmt.Sprintf("suppression //scip:%s needs a justification (%s)", s.token, d.Message)
+				out = append(out, d)
+			}
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		return out[i].Pos.Line < out[j].Pos.Line
+	})
+	return out
+}
+
+// RunAll executes every analyzer that applies to pkg (see Applies) and
+// merges the diagnostics in file/line order.
+func RunAll(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if !Applies(a, pkg.Path) {
+			continue
+		}
+		out = append(out, Run(a, pkg)...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// suppression is one //scip: comment in a file.
+type suppression struct {
+	file          string
+	line          int
+	token         string
+	justification string
+	used          bool
+}
+
+type suppressionSet struct {
+	// byFileLine maps file -> line -> suppressions ending on that line.
+	byFileLine map[string]map[int][]*suppression
+}
+
+// match returns the suppression covering a diagnostic of analyzer a at
+// pos: a //scip: comment with one of the analyzer's tokens on the same
+// line or the line directly above.
+func (s suppressionSet) match(a *Analyzer, pos token.Position) *suppression {
+	lines := s.byFileLine[pos.Filename]
+	if lines == nil {
+		return nil
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		for _, sup := range lines[line] {
+			for _, tok := range a.Suppress {
+				if sup.token == tok {
+					return sup
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// suppressionPrefix introduces an in-code exception to an analyzer.
+const suppressionPrefix = "scip:"
+
+// collectSuppressions scans the files' comments for //scip:<token>
+// markers.
+func collectSuppressions(fset *token.FileSet, files []*ast.File) suppressionSet {
+	set := suppressionSet{byFileLine: make(map[string]map[int][]*suppression)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				text = strings.TrimPrefix(text, "/*")
+				text = strings.TrimSuffix(text, "*/")
+				text = strings.TrimSpace(text)
+				if !strings.HasPrefix(text, suppressionPrefix) {
+					continue
+				}
+				rest := strings.TrimPrefix(text, suppressionPrefix)
+				tok, just, _ := strings.Cut(rest, " ")
+				if tok == "" {
+					continue
+				}
+				pos := fset.Position(c.End())
+				lines := set.byFileLine[pos.Filename]
+				if lines == nil {
+					lines = make(map[int][]*suppression)
+					set.byFileLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], &suppression{
+					file:          pos.Filename,
+					line:          pos.Line,
+					token:         tok,
+					justification: strings.TrimSpace(just),
+				})
+			}
+		}
+	}
+	return set
+}

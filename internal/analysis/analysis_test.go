@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestFixtures runs every analyzer over its testdata package and checks
+// the diagnostics against the // want comments. Each fixture package
+// carries a flagged file (findings expected), a clean file (silence
+// expected) and a suppressed file (justified //scip: comments silence,
+// bare ones surface as needs-a-justification).
+func TestFixtures(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		dir      string
+	}{
+		{Detrand, "detrand"},
+		{Maporder, "maporder"},
+		{Nocopy, "nocopy"},
+		{Atomicmix, "atomicmix"},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			CheckFixture(t, c.analyzer, filepath.Join("testdata", c.dir))
+		})
+	}
+}
+
+// TestRepoIsClean loads the whole module the way cmd/scip-vet does and
+// asserts zero diagnostics: the tree must stay vet-clean, and every
+// intentional exception must carry a justified suppression comment.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the entire module")
+	}
+	l, err := NewLoader("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the ./... expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		for _, d := range RunAll(Analyzers(), pkg) {
+			t.Errorf("%s", d)
+		}
+	}
+}
+
+// TestApplies pins the detrand path scoping: deterministic-replay
+// packages are covered, the analysis framework itself is not.
+func TestApplies(t *testing.T) {
+	cases := []struct {
+		analyzer *Analyzer
+		path     string
+		want     bool
+	}{
+		{Detrand, "github.com/scip-cache/scip/internal/core", true},
+		{Detrand, "github.com/scip-cache/scip/internal/mab", true},
+		{Detrand, "github.com/scip-cache/scip/internal/exp", true},
+		{Detrand, "github.com/scip-cache/scip/internal/analysis", false},
+		{Detrand, "github.com/scip-cache/scip/cmd/scip-vet", false},
+		{Maporder, "github.com/scip-cache/scip/internal/analysis", true},
+		{Nocopy, "github.com/scip-cache/scip/cmd/scip-vet", true},
+		{Atomicmix, "github.com/scip-cache/scip/internal/shard", true},
+	}
+	for _, c := range cases {
+		if got := Applies(c.analyzer, c.path); got != c.want {
+			t.Errorf("Applies(%s, %s) = %v, want %v", c.analyzer.Name, c.path, got, c.want)
+		}
+	}
+}

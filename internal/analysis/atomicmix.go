@@ -1,0 +1,137 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Atomicmix enforces all-or-nothing atomicity per variable: a field or
+// package-level variable that is ever passed to a sync/atomic function
+// (atomic.AddInt64(&x.f, ...), atomic.LoadInt64(&x.f), ...) must never
+// be read or written with a plain load or store anywhere else in the
+// package. One plain `x.f++` next to an atomic reader is a data race the
+// race detector only catches when the schedule cooperates; mixed access
+// also defeats the happens-before reasoning the lock-free stats path
+// depends on. Fields of the modern atomic.Int64-style types cannot be
+// mixed by construction (and their copies are Nocopy's business); this
+// analyzer closes the hole the free-function API leaves open.
+var Atomicmix = &Analyzer{
+	Name:     "atomicmix",
+	Doc:      "flag plain access to variables that are accessed atomically elsewhere",
+	Suppress: []string{"atomic-ok"},
+	Run:      runAtomicmix,
+}
+
+func runAtomicmix(pass *Pass) {
+	// Pass A: find every variable that appears as &v in a sync/atomic
+	// call; remember the identifiers that participate in those calls so
+	// pass B can exempt them.
+	atomicSites := make(map[types.Object]token.Position)
+	inAtomicCall := make(map[*ast.Ident]bool)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				markAtomicArg(pass, arg, call, atomicSites, inAtomicCall)
+			}
+			return true
+		})
+	}
+	if len(atomicSites) == 0 {
+		return
+	}
+	// Pass B: any other use of those variables is a plain (racy) access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || inAtomicCall[id] {
+				return true
+			}
+			obj := pass.ObjectOf(id)
+			if obj == nil {
+				return true
+			}
+			site, tracked := atomicSites[obj]
+			if !tracked || obj.Pos() == id.Pos() {
+				// Untracked, or this is the declaration itself.
+				return true
+			}
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed atomically at %s:%d; use sync/atomic consistently",
+				id.Name, shortFile(site.Filename), site.Line)
+			return true
+		})
+	}
+}
+
+// markAtomicArg records the variable behind an &v (or &x.f) argument of
+// an atomic call, and marks every identifier inside the argument as
+// participating in atomic access.
+func markAtomicArg(pass *Pass, arg ast.Expr, call *ast.CallExpr, sites map[types.Object]token.Position, inCall map[*ast.Ident]bool) {
+	un, ok := arg.(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return
+	}
+	var target *ast.Ident
+	switch e := un.X.(type) {
+	case *ast.Ident:
+		target = e
+	case *ast.SelectorExpr:
+		target = e.Sel
+	case *ast.IndexExpr:
+		target = baseIdent(e)
+	}
+	if target == nil {
+		return
+	}
+	obj := pass.ObjectOf(target)
+	if obj == nil {
+		return
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return
+	}
+	if _, seen := sites[obj]; !seen {
+		sites[obj] = pass.Fset.Position(call.Pos())
+	}
+	ast.Inspect(un, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			inCall[id] = true
+		}
+		return true
+	})
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package-level
+// read-modify-write or load/store function.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	path, ok := packageQualifier(pass, sel)
+	if !ok || path != "sync/atomic" {
+		return false
+	}
+	name := sel.Sel.Name
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// shortFile trims the path to its last two elements for messages.
+func shortFile(path string) string {
+	parts := strings.Split(path, "/")
+	if len(parts) <= 2 {
+		return path
+	}
+	return strings.Join(parts[len(parts)-2:], "/")
+}

@@ -1,0 +1,234 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Maporder flags `range` loops over maps whose body performs an
+// order-sensitive effect: appending to an outer slice, emitting output,
+// accumulating into an order-sensitive outer variable (string
+// concatenation, floating-point sums), sending on a channel, or calling
+// an outer method with iteration-derived arguments. Go randomises map
+// iteration order per run, so any such loop makes output differ between
+// identical executions — the exact PR-1 bug where LRB's pruneWindow
+// labelled window-expired training samples in map order and LRB's miss
+// ratio stopped reproducing across processes.
+//
+// Loops whose effects are provably order-independent (the body re-sorts
+// its accumulator by a unique key, for example) are declared with a
+// //scip:ordered-ok comment carrying the justification.
+var Maporder = &Analyzer{
+	Name:     "maporder",
+	Doc:      "flag map iteration feeding ordered accumulators or output",
+	Suppress: []string{"ordered-ok"},
+	Run:      runMaporder,
+}
+
+func runMaporder(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rng.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRange(pass, rng)
+			// The body is fully handled here, including nested map
+			// ranges (their effects are order-dependent on the outer
+			// iteration too).
+			return false
+		})
+	}
+}
+
+// checkMapRange reports every order-sensitive effect in the body of one
+// map-range loop. Diagnostics anchor at the effect itself — the append,
+// send, accumulation or call — so a suppression covers exactly one
+// effect and a new order-sensitive statement added to an already
+// suppressed loop is still reported.
+func checkMapRange(pass *Pass, rng *ast.RangeStmt) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkMapRangeAssign(pass, rng, n)
+		case *ast.SendStmt:
+			if id := baseIdent(n.Chan); id != nil && !declaredWithin(pass, id, rng) {
+				pass.Reportf(n.Pos(), "map iteration sends to channel %s: receive order depends on map order",
+					id.Name)
+			}
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				checkMapRangeCall(pass, rng, call)
+			}
+			return false // arguments already inspected by the call check
+		}
+		return true
+	})
+}
+
+// checkMapRangeAssign flags ordered accumulation: append to an outer
+// slice and order-sensitive compound assignment (string concatenation,
+// floating-point accumulation) into an outer variable.
+func checkMapRangeAssign(pass *Pass, rng *ast.RangeStmt, as *ast.AssignStmt) {
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltin(pass, call, "append") || len(call.Args) == 0 {
+			continue
+		}
+		dst := baseIdent(call.Args[0])
+		if dst == nil || declaredWithin(pass, dst, rng) {
+			continue
+		}
+		// `outer = append(outer, ...)` grows an ordered accumulator in
+		// map-iteration order. Replacing the whole slice with a value
+		// that does not extend it (outer = append(local, ...)) is still
+		// flagged: the elements come from the iteration.
+		if i < len(as.Lhs) {
+			pass.Reportf(as.Pos(), "map iteration appends to %s: element order depends on map order",
+				dst.Name)
+		}
+	}
+	if as.Tok == token.ASSIGN || as.Tok == token.DEFINE || len(as.Lhs) != 1 {
+		return
+	}
+	// Compound assignment (+=, -=, ...): order-sensitive for strings and
+	// floats (concatenation order; FP addition is not associative).
+	lhs := baseIdent(as.Lhs[0])
+	if lhs == nil || declaredWithin(pass, lhs, rng) {
+		return
+	}
+	if t := pass.TypeOf(as.Lhs[0]); t != nil {
+		switch b := t.Underlying().(type) {
+		case *types.Basic:
+			if b.Info()&types.IsString != 0 || b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "map iteration accumulates into %s: result depends on map order",
+					lhs.Name)
+			}
+		}
+	}
+}
+
+// checkMapRangeCall flags side-effect calls driven by the iteration: a
+// statement-level call to an outer method or an output function whose
+// receiver or arguments derive from loop-local state. This is what
+// catches the PR-1 pruneWindow pattern (l.label(p.feat, ...) inside
+// `range l.pend`): the callee mutates outer ordered state in map order.
+func checkMapRangeCall(pass *Pass, rng *ast.RangeStmt, call *ast.CallExpr) {
+	if isBuiltin(pass, call, "delete") {
+		// Deleting keys is order-independent: the surviving map is the
+		// same whatever order the loop visits.
+		return
+	}
+	name := calleeName(call)
+	argsDerived := false
+	for _, arg := range call.Args {
+		if derivesFromLoop(pass, arg, rng) {
+			argsDerived = true
+			break
+		}
+	}
+	if !argsDerived {
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if recv := baseIdent(fun.X); recv != nil {
+			if _, isPkg := pass.ObjectOf(recv).(*types.PkgName); isPkg {
+				// Package-level function with iteration-derived
+				// arguments, called for its side effect.
+				pass.Reportf(call.Pos(), "map iteration calls %s with iteration-dependent arguments: side effects occur in map order",
+					name)
+				return
+			}
+			if !declaredWithin(pass, recv, rng) {
+				pass.Reportf(call.Pos(), "map iteration calls %s with iteration-dependent arguments: %s's state is updated in map order",
+					name, recv.Name)
+			}
+		}
+	case *ast.Ident:
+		if obj := pass.ObjectOf(fun); obj != nil && !declaredWithin(pass, fun, rng) {
+			if _, isBuiltinObj := obj.(*types.Builtin); isBuiltinObj {
+				return
+			}
+			pass.Reportf(call.Pos(), "map iteration calls %s with iteration-dependent arguments: side effects occur in map order",
+				name)
+		}
+	}
+}
+
+// derivesFromLoop reports whether e references any identifier declared
+// inside the range statement (the key/value variables or body locals).
+func derivesFromLoop(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && declaredWithin(pass, id, rng) {
+			found = true
+			return false
+		}
+		return !found
+	})
+	return found
+}
+
+// declaredWithin reports whether id resolves to an object declared
+// lexically inside the range statement.
+func declaredWithin(pass *Pass, id *ast.Ident, rng *ast.RangeStmt) bool {
+	obj := pass.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	return obj.Pos() >= rng.Pos() && obj.Pos() <= rng.End()
+}
+
+// baseIdent strips selectors, indexing, derefs and parens down to the
+// root identifier of an expression, or nil.
+func baseIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isBuiltin reports whether call invokes the named builtin.
+func isBuiltin(pass *Pass, call *ast.CallExpr, name string) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.ObjectOf(id).(*types.Builtin)
+	return ok
+}
+
+// calleeName renders the callee for diagnostics (pkg.F, recv.Method, f).
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "call"
+}

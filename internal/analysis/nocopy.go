@@ -1,0 +1,187 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nocopy flags value copies of types that must stay put: structs
+// containing sync primitives (Mutex, RWMutex, WaitGroup, Once, Cond,
+// Map, Pool) or sync/atomic counter types, directly or transitively —
+// which covers the repository's cache-line-padded stats.ShardCounters /
+// stats.Histogram blocks and shard.shardSlot without naming them. A
+// copied mutex deadlocks or fails to exclude; a copied atomic counter
+// silently forks the count; a copied padded block loses its false-
+// sharing isolation. go vet's copylocks catches the sync cases but not
+// the atomic ones, which are exactly what the lock-free stats path uses.
+//
+// Flagged: assignments and declarations copying an addressable no-copy
+// value, passing one as a call argument, returning one, range clauses
+// that copy no-copy elements, and method declarations with a no-copy
+// value receiver or parameter. Constructing a fresh value (composite
+// literal, function result) is allowed.
+var Nocopy = &Analyzer{
+	Name:     "nocopy",
+	Doc:      "flag by-value copies of types containing sync or atomic state",
+	Suppress: []string{"copy-ok"},
+	Run:      runNocopy,
+}
+
+// noCopyPkgTypes are the named types whose values pin their address.
+var noCopyPkgTypes = map[string]map[string]bool{
+	"sync": {
+		"Mutex": true, "RWMutex": true, "WaitGroup": true,
+		"Once": true, "Cond": true, "Map": true, "Pool": true,
+	},
+	"sync/atomic": {
+		"Bool": true, "Int32": true, "Int64": true, "Uint32": true,
+		"Uint64": true, "Uintptr": true, "Pointer": true, "Value": true,
+	},
+}
+
+// nocopyChecker caches per-type verdicts (the reason a type must not be
+// copied, or "" when copying is fine).
+type nocopyChecker struct {
+	pass  *Pass
+	cache map[types.Type]string
+}
+
+func runNocopy(pass *Pass) {
+	c := &nocopyChecker{pass: pass, cache: make(map[types.Type]string)}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for _, rhs := range n.Rhs {
+					c.checkValueUse(rhs, "assignment copies")
+				}
+			case *ast.CallExpr:
+				if isConversion(pass, n) {
+					return true
+				}
+				for _, arg := range n.Args {
+					c.checkValueUse(arg, "call argument copies")
+				}
+			case *ast.ReturnStmt:
+				for _, res := range n.Results {
+					c.checkValueUse(res, "return copies")
+				}
+			case *ast.RangeStmt:
+				c.checkRange(n)
+			case *ast.FuncDecl:
+				c.checkFuncDecl(n)
+			case *ast.ValueSpec:
+				for _, v := range n.Values {
+					c.checkValueUse(v, "declaration copies")
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkValueUse reports e when it is an addressable (or dereferenced)
+// expression of a no-copy type used as a value. Fresh values —
+// composite literals, function results — are fine: they have no other
+// owner yet.
+func (c *nocopyChecker) checkValueUse(e ast.Expr, what string) {
+	switch e.(type) {
+	case *ast.Ident, *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.ParenExpr:
+	default:
+		return
+	}
+	t := c.pass.TypeOf(e)
+	if t == nil {
+		return
+	}
+	if reason := c.reason(t); reason != "" {
+		c.pass.Reportf(e.Pos(), "%s %s, which contains %s; use a pointer", what, typeLabel(t), reason)
+	}
+}
+
+// checkRange flags `for _, v := range xs` where the element type must
+// not be copied (the per-iteration value variable is a copy).
+func (c *nocopyChecker) checkRange(rng *ast.RangeStmt) {
+	if rng.Value == nil {
+		return
+	}
+	t := c.pass.TypeOf(rng.Value)
+	if t == nil {
+		return
+	}
+	if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		return
+	}
+	if reason := c.reason(t); reason != "" {
+		c.pass.Reportf(rng.Value.Pos(), "range value copies %s, which contains %s; range over indices instead", typeLabel(t), reason)
+	}
+}
+
+// checkFuncDecl flags no-copy value receivers and parameters: every call
+// through them copies.
+func (c *nocopyChecker) checkFuncDecl(fd *ast.FuncDecl) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := c.pass.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := t.Underlying().(*types.Pointer); isPtr {
+				continue
+			}
+			if reason := c.reason(t); reason != "" {
+				c.pass.Reportf(field.Type.Pos(), "%s %s by value, which contains %s; use a pointer", what, typeLabel(t), reason)
+			}
+		}
+	}
+	check(fd.Recv, "method receives")
+	check(fd.Type.Params, "function takes")
+}
+
+// reason returns why t must not be copied, or "".
+func (c *nocopyChecker) reason(t types.Type) string {
+	if r, ok := c.cache[t]; ok {
+		return r
+	}
+	c.cache[t] = "" // breaks recursive type cycles
+	r := c.computeReason(t)
+	c.cache[t] = r
+	return r
+}
+
+func (c *nocopyChecker) computeReason(t types.Type) string {
+	if named, ok := t.(*types.Named); ok {
+		obj := named.Obj()
+		if pkg := obj.Pkg(); pkg != nil {
+			if names := noCopyPkgTypes[pkg.Path()]; names[obj.Name()] {
+				return pkg.Path() + "." + obj.Name()
+			}
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if r := c.reason(u.Field(i).Type()); r != "" {
+				return r
+			}
+		}
+	case *types.Array:
+		return c.reason(u.Elem())
+	}
+	return ""
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function call.
+func isConversion(pass *Pass, call *ast.CallExpr) bool {
+	tv, ok := pass.Info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// typeLabel names t compactly for diagnostics.
+func typeLabel(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}

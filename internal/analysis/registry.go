@@ -1,0 +1,42 @@
+package analysis
+
+import "strings"
+
+// Analyzers returns every registered analyzer in a stable order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{Detrand, Maporder, Nocopy, Atomicmix}
+}
+
+// DetrandPaths lists the import-path suffixes of the packages whose
+// behaviour must be a pure function of their inputs and seeds: the
+// SCIP/MAB learning core, the experiment harness whose tables must
+// reproduce byte-for-byte, and the replay engine. Trace generation and
+// the learned baselines are seed-threaded too and are held to the same
+// bar. Drivers (cmd/...) legitimately read clocks for reporting and are
+// not listed.
+var DetrandPaths = []string{
+	"internal/core",
+	"internal/mab",
+	"internal/exp",
+	"internal/sim",
+	"internal/gen",
+	"internal/lrb",
+	"internal/ml",
+	"internal/replacement",
+}
+
+// Applies reports whether analyzer a runs over the package at pkgPath.
+// Maporder, Nocopy and Atomicmix guard every package; Detrand is scoped
+// to the deterministic-replay packages (DetrandPaths), because drivers
+// and reporting code read wall clocks by design.
+func Applies(a *Analyzer, pkgPath string) bool {
+	if a != Detrand {
+		return true
+	}
+	for _, suffix := range DetrandPaths {
+		if strings.HasSuffix(pkgPath, suffix) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,28 @@
+package atomicmix
+
+import "sync/atomic"
+
+// gauge accesses its counter exclusively through sync/atomic: nothing in
+// this file may be flagged.
+type gauge struct {
+	n int64
+}
+
+func (g *gauge) inc() {
+	atomic.AddInt64(&g.n, 1)
+}
+
+func (g *gauge) get() int64 {
+	return atomic.LoadInt64(&g.n)
+}
+
+func (g *gauge) clear() {
+	atomic.StoreInt64(&g.n, 0)
+}
+
+// plain is never touched atomically, so its ordinary accesses are fine.
+var plain int
+
+func bumpPlain() {
+	plain++
+}

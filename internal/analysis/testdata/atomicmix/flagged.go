@@ -1,0 +1,31 @@
+// Package atomicmix exercises the atomicmix analyzer: a variable passed
+// to sync/atomic must never also be read or written plainly.
+package atomicmix
+
+import "sync/atomic"
+
+type stats struct {
+	ops int64
+}
+
+func (s *stats) bump() {
+	atomic.AddInt64(&s.ops, 1)
+}
+
+func (s *stats) read() int64 {
+	return s.ops // want "plain access to ops, which is accessed atomically at"
+}
+
+func (s *stats) reset() {
+	s.ops = 0 // want "plain access to ops"
+}
+
+var hits uint64
+
+func recordHit() {
+	atomic.AddUint64(&hits, 1)
+}
+
+func hitCount() uint64 {
+	return hits // want "plain access to hits"
+}

@@ -1,0 +1,24 @@
+package atomicmix
+
+import "sync/atomic"
+
+type meter struct {
+	count int64
+}
+
+func (m *meter) add() {
+	atomic.AddInt64(&m.count, 1)
+}
+
+// reset shows the sanctioned exception: a justified atomic-ok comment
+// silences the finding.
+func (m *meter) reset() {
+	m.count = 0 //scip:atomic-ok called during single-threaded setup, before any goroutine starts
+}
+
+// drain lacks a justification, so the finding survives as a
+// needs-a-justification diagnostic.
+func (m *meter) drain() int64 {
+	//scip:atomic-ok
+	return m.count // want "suppression //scip:atomic-ok needs a justification"
+}

@@ -1,0 +1,22 @@
+package detrand
+
+import "math/rand"
+
+// widget threads its seed from configuration: building the RNG from a
+// seed variable and drawing from the instance is the approved pattern,
+// so nothing in this file may be flagged.
+type widget struct {
+	rng *rand.Rand
+}
+
+func newWidget(seed int64) *widget {
+	return &widget{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (w *widget) draw() float64 {
+	return w.rng.Float64()
+}
+
+func (w *widget) pick(n int) int {
+	return w.rng.Intn(n)
+}

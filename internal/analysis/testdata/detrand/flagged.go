@@ -1,0 +1,28 @@
+// Package detrand exercises the detrand analyzer: ambient randomness,
+// hard-coded seeds and wall-clock reads must each produce a diagnostic.
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func ambientRand() int {
+	return rand.Intn(10) // want "global rand\\.Intn: draw from a seed-threaded \\*rand\\.Rand instead"
+}
+
+func hardCodedSeed() *rand.Rand {
+	return rand.New(rand.NewSource(42)) // want "rand\\.NewSource with a hard-coded seed"
+}
+
+func foldedSeedLiteral() rand.Source {
+	return rand.NewSource(6*9 + 12) // want "rand\\.NewSource with a hard-coded seed"
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "time\\.Now reads the wall clock"
+}
+
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want "time\\.Since reads the wall clock"
+}

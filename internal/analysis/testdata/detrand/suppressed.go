@@ -1,0 +1,27 @@
+package detrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+// metered shows the sanctioned wall-clock exception: a justified
+// //scip:wallclock-ok comment silences the finding entirely.
+func metered(f func()) time.Duration {
+	start := time.Now() //scip:wallclock-ok metering only: feeds a throughput column, never a decision
+	f()
+	return time.Since(start) //scip:wallclock-ok metering only: feeds a throughput column, never a decision
+}
+
+// fixedProbe shows the rand-ok token on the line above the finding.
+func fixedProbe() int {
+	//scip:rand-ok fixture-only: demonstrates the rand-ok escape hatch
+	return rand.Intn(2)
+}
+
+// bareClock shows that a suppression without a justification does not
+// silence the finding — it is converted into its own diagnostic.
+func bareClock() time.Time {
+	//scip:wallclock-ok
+	return time.Now() // want "suppression //scip:wallclock-ok needs a justification"
+}

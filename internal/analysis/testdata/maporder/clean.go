@@ -1,0 +1,35 @@
+package maporder
+
+// Order-independent map loops: nothing in this file may be flagged.
+
+func deleteOnly(m map[string]int) {
+	for k, v := range m {
+		if v == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+func sumInts(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v // integer addition commutes exactly; order cannot show
+	}
+	return total
+}
+
+func loopLocalAppend(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		local := make([]int, 0, 2)
+		local = append(local, v, v)
+		n += len(local)
+	}
+	return n
+}
+
+func writeBack(m map[string]int) {
+	for k, v := range m {
+		m[k] = v * 2
+	}
+}

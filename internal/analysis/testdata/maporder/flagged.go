@@ -1,0 +1,58 @@
+// Package maporder exercises the maporder analyzer: every order-sensitive
+// effect inside a map range loop must produce a diagnostic anchored at
+// the effect itself.
+package maporder
+
+import "fmt"
+
+func appendsInMapOrder(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want "map iteration appends to out"
+	}
+	return out
+}
+
+func printsInMapOrder(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want "map iteration calls fmt\\.Println with iteration-dependent arguments"
+	}
+}
+
+func sendsInMapOrder(m map[string]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want "map iteration sends to channel ch"
+	}
+}
+
+func concatsInMapOrder(m map[string]int) string {
+	var s string
+	for k := range m {
+		s += k // want "map iteration accumulates into s"
+	}
+	return s
+}
+
+func sumsFloatsInMapOrder(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want "map iteration accumulates into total"
+	}
+	return total
+}
+
+// sink is the PR-1 pruneWindow shape: a method mutating ordered outer
+// state, called with iteration-derived arguments.
+type sink struct {
+	vals []int
+}
+
+func (s *sink) add(v int) {
+	s.vals = append(s.vals, v)
+}
+
+func labelsInMapOrder(m map[string]int, s *sink) {
+	for _, v := range m {
+		s.add(v) // want "map iteration calls s\\.add .* s's state is updated in map order"
+	}
+}

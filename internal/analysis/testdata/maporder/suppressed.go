@@ -1,0 +1,41 @@
+package maporder
+
+import "sort"
+
+// collectThenSort is the approved idiom: the accumulator is re-sorted by
+// a total order immediately after the loop, so a justified ordered-ok
+// suppression on the append silences the finding. The suppression covers
+// only that statement — any other order-sensitive effect added to the
+// loop is still reported (see stillCaught).
+func collectThenSort(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) //scip:ordered-ok out is sorted immediately below, erasing map order
+	}
+	sort.Ints(out)
+	return out
+}
+
+// stillCaught shows that a suppressed effect does not blanket the loop:
+// the second accumulator has no suppression and must be reported.
+func stillCaught(m map[string]int) ([]int, string) {
+	var out []int
+	var joined string
+	for k, v := range m {
+		joined += k          // want "map iteration accumulates into joined"
+		out = append(out, v) //scip:ordered-ok out is sorted immediately below, erasing map order
+	}
+	sort.Ints(out)
+	return out, joined
+}
+
+// bareSuppression lacks a justification, so the finding is converted
+// into a needs-a-justification diagnostic instead of being silenced.
+func bareSuppression(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		//scip:ordered-ok
+		out = append(out, v) // want "suppression //scip:ordered-ok needs a justification"
+	}
+	return out
+}

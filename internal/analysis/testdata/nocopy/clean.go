@@ -1,0 +1,29 @@
+package nocopy
+
+import "sync/atomic"
+
+// Pointer-threaded use of a no-copy type: nothing in this file may be
+// flagged.
+type stats struct {
+	hits atomic.Int64
+}
+
+func newStats() *stats {
+	return &stats{}
+}
+
+func bump(s *stats) {
+	s.hits.Add(1)
+}
+
+func read(s *stats) int64 {
+	return s.hits.Load()
+}
+
+func total(all []*stats) int64 {
+	var sum int64
+	for _, s := range all {
+		sum += s.hits.Load()
+	}
+	return sum
+}

@@ -1,0 +1,48 @@
+// Package nocopy exercises the nocopy analyzer: value copies of structs
+// carrying sync or sync/atomic state must produce a diagnostic.
+package nocopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counters mirrors the repository's padded stats blocks: an atomic
+// counter plus cache-line padding.
+type counters struct {
+	hits atomic.Int64
+	_    [56]byte
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+func use(c *counters) {}
+
+func assignCopy(c *counters) {
+	snapshot := *c // want "assignment copies nocopy\\.counters, which contains sync/atomic\\.Int64"
+	use(&snapshot)
+}
+
+func argCopy(g guarded) { // want "function takes nocopy\\.guarded by value, which contains sync\\.Mutex"
+	_ = g.n
+}
+
+func (c counters) value() int { // want "method receives nocopy\\.counters by value"
+	return 0
+}
+
+func rangeCopy(cs []counters) int {
+	n := 0
+	for _, c := range cs { // want "range value copies nocopy\\.counters"
+		use(&c)
+		n++
+	}
+	return n
+}
+
+func returnCopy(g *guarded) guarded {
+	return *g // want "return copies nocopy\\.guarded"
+}

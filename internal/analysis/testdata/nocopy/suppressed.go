@@ -1,0 +1,23 @@
+package nocopy
+
+import "sync"
+
+type settings struct {
+	mu    sync.Mutex
+	limit int
+}
+
+// snapshotSettings shows the sanctioned exception: a justified copy-ok
+// comment silences the finding.
+func snapshotSettings(s *settings) settings {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return *s //scip:copy-ok snapshot taken under the lock; the copy's mutex is never locked
+}
+
+// bareCopy lacks a justification, so the finding survives as a
+// needs-a-justification diagnostic.
+func bareCopy(s *settings) settings {
+	//scip:copy-ok
+	return *s // want "suppression //scip:copy-ok needs a justification"
+}

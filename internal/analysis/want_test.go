@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"reflect"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func TestParseWant(t *testing.T) {
+	cases := []struct {
+		text    string
+		want    []string
+		ok      bool
+		wantErr bool
+	}{
+		{`want "foo"`, []string{"foo"}, true, false},
+		{` want "a" "b"`, []string{"a", "b"}, true, false},
+		{"want\t\"tabbed\"", []string{"tabbed"}, true, false},
+		{`want "escaped \" quote"`, []string{`escaped " quote`}, true, false},
+		{`want "rand\\.Intn"`, []string{`rand\.Intn`}, true, false},
+		// Not want comments at all.
+		{`plain prose`, nil, false, false},
+		{`wanted: more caching`, nil, false, false},
+		{``, nil, false, false},
+		{`//`, nil, false, false},
+		// Malformed want comments.
+		{`want`, nil, true, true},
+		{`want   `, nil, true, true},
+		{`want foo`, nil, true, true},
+		{`want "unterminated`, nil, true, true},
+		{`want "ok" trailing`, nil, true, true},
+		{`want "bad[regexp"`, nil, true, true},
+		{`want "bad escape \q"`, nil, true, true},
+	}
+	for _, c := range cases {
+		got, ok, err := ParseWant(c.text)
+		if ok != c.ok || (err != nil) != c.wantErr {
+			t.Errorf("ParseWant(%q) ok=%v err=%v, want ok=%v err=%v", c.text, ok, err, c.ok, c.wantErr)
+			continue
+		}
+		if err == nil && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ParseWant(%q) = %q, want %q", c.text, got, c.want)
+		}
+	}
+}
+
+// FuzzParseWant fuzzes the want-comment parser for its three invariants:
+// it never panics, ok=false always means no patterns and no error, and
+// every pattern returned without error is a compilable regexp from a
+// comment that really starts with the want keyword.
+func FuzzParseWant(f *testing.F) {
+	f.Add(`want "foo"`)
+	f.Add(`want "a" "b" "c"`)
+	f.Add(` want	"tabs and spaces" `)
+	f.Add(`want "escaped \" quote" "second"`)
+	f.Add(`wanted prose about caching`)
+	f.Add(`want`)
+	f.Add(`want "unterminated`)
+	f.Add(`want "bad[regexp"`)
+	f.Add(`want bare`)
+	f.Add(`scip:ordered-ok not a want comment`)
+	f.Add("want \"\\x00\"")
+	f.Fuzz(func(t *testing.T, text string) {
+		pats, ok, err := ParseWant(text)
+		if !ok {
+			if err != nil {
+				t.Fatalf("ok=false with err=%v", err)
+			}
+			if pats != nil {
+				t.Fatalf("ok=false with patterns %q", pats)
+			}
+			return
+		}
+		if !strings.HasPrefix(strings.TrimSpace(text), wantPrefix) {
+			t.Fatalf("ok=true for %q, which does not start with %q", text, wantPrefix)
+		}
+		if err != nil {
+			if pats != nil {
+				t.Fatalf("err=%v with patterns %q", err, pats)
+			}
+			return
+		}
+		if len(pats) == 0 {
+			t.Fatalf("ok=true, err=nil, but no patterns for %q", text)
+		}
+		for _, p := range pats {
+			if _, cerr := regexp.Compile(p); cerr != nil {
+				t.Fatalf("returned uncompilable pattern %q: %v", p, cerr)
+			}
+		}
+	})
+}
