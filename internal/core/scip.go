@@ -140,8 +140,10 @@ func (ws *weightSet) reset(w0 float64) {
 type Option func(*SCIP)
 
 // WithSeed fixes the PRNG used for bimodal selection and random restarts.
+// The seed is retained so Reset can rewind the PRNG to its initial state
+// and a reset instance replays bit-for-bit.
 func WithSeed(seed int64) Option {
-	return func(s *SCIP) { s.rng = rand.New(rand.NewSource(seed)) }
+	return func(s *SCIP) { s.seed = seed }
 }
 
 // WithInterval sets the learning-rate update interval i (requests).
@@ -258,6 +260,7 @@ type SCIP struct {
 	insW         *weightSet // ω_m/ω_l for missing objects
 	proW         *weightSet // ω_m/ω_l for hit objects (== insW if unified)
 	rate         *mab.AdaptiveRate
+	seed         int64
 	rng          *rand.Rand
 	interval     int
 	historyFrac  float64
@@ -309,6 +312,7 @@ var (
 func New(capBytes int64, opts ...Option) *SCIP {
 	s := &SCIP{
 		name:          "SCIP",
+		seed:          1,
 		interval:      DefaultInterval,
 		historyFrac:   0.5,
 		initW:         0.9,
@@ -329,9 +333,10 @@ func New(capBytes int64, opts ...Option) *SCIP {
 	if s.proHitGain < 0 {
 		s.proHitGain = DefaultPromoteHitGain
 	}
-	if s.rng == nil {
-		s.rng = rand.New(rand.NewSource(1))
-	}
+	// The PRNG is derived from the stored seed (never an ambient or
+	// hard-coded source) so that New and Reset produce the same stream
+	// and every replay is a pure function of the configuration.
+	s.rng = rand.New(rand.NewSource(s.seed))
 	hb := int64(s.historyFrac * float64(capBytes))
 	s.hm = cache.NewHistory(hb)
 	s.hl = cache.NewHistory(hb)
@@ -549,7 +554,10 @@ func (s *SCIP) OnResidentHit(req cache.Request, insertedMRU bool, res cache.Resi
 // HistorySizes reports the current byte occupancy of H_m and H_l.
 func (s *SCIP) HistorySizes() (hm, hl int64) { return s.hm.Bytes(), s.hl.Bytes() }
 
-// Reset restores the initial learning state (used between benchmark runs).
+// Reset restores the initial learning state (used between benchmark
+// runs), including the PRNG: a reset instance replays the same decision
+// stream as a freshly constructed one, so back-to-back runs over the
+// same trace are bit-identical.
 func (s *SCIP) Reset() {
 	s.hm.Reset()
 	s.hl.Reset()
@@ -557,6 +565,7 @@ func (s *SCIP) Reset() {
 	if !s.unified {
 		s.proW.reset(s.initW)
 	}
+	s.rng = rand.New(rand.NewSource(s.seed))
 	s.rate = mab.NewAdaptiveRate(s.rng.Float64)
 	s.reqs, s.hits = 0, 0
 	s.lastMissRatio = 0.5
