@@ -345,6 +345,7 @@ func (l *LRB) pruneWindow() {
 			if p.at >= cut {
 				kept = append(kept, p)
 			} else {
+				//scip:ordered-ok expired is sorted by the unique per-sample .at sequence number below, erasing map order before labelling
 				expired = append(expired, p)
 			}
 		}
