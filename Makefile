@@ -1,21 +1,38 @@
 # Standard verify loop for the repository. `make check` is what CI (and
-# every PR) should run: formatting, vet, build, tests, and the race
+# every PR) should run: formatting (with simplification), vet, the
+# repository's own scip-vet analyzers, build, tests, and the race
 # detector over the concurrent experiment engine and sharded front.
 
 GO ?= go
 
-.PHONY: check fmt-check vet build test test-race bench bench-figures load
+# Build-tag configurations to vet. The tree currently builds one way —
+# there are no build tags — but every configuration added later must be
+# listed here so `make vet` covers it.
+VET_TAGS ?=
 
-check: fmt-check vet build test test-race
+.PHONY: check fmt-check vet lint build test test-race fuzz bench bench-figures load
 
+check: fmt-check vet lint build test test-race
+
+# gofmt -s also demands the simplified forms (composite-literal elision,
+# range cleanups), not just canonical spacing.
 fmt-check:
-	@out=$$(gofmt -l .); \
+	@out=$$(gofmt -s -l .); \
 	if [ -n "$$out" ]; then \
-		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+		echo "gofmt -s needed on:"; echo "$$out"; exit 1; \
 	fi
 
 vet:
 	$(GO) vet ./...
+	@for tags in $(VET_TAGS); do \
+		echo "vet -tags $$tags"; \
+		$(GO) vet -tags "$$tags" ./... || exit 1; \
+	done
+
+# lint runs the repository's own determinism/concurrency analyzers
+# (see internal/analysis and DESIGN.md "Invariants").
+lint:
+	$(GO) run ./cmd/scip-vet ./...
 
 build:
 	$(GO) build ./...
@@ -25,6 +42,10 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# Short fuzz pass over the analysis fixture-comment parser.
+fuzz:
+	$(GO) test ./internal/analysis/ -run '^$$' -fuzz FuzzParseWant -fuzztime 30s
 
 # Hot-path and per-figure micro benchmarks at reduced scale.
 bench:
