@@ -7,6 +7,7 @@ package scip_test
 
 import (
 	"io"
+	"math/rand"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -16,6 +17,8 @@ import (
 	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/exp"
 	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/ml"
 	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
 	"github.com/scip-cache/scip/internal/stats"
@@ -220,6 +223,86 @@ func BenchmarkParallelEngineFig8(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- ML kernel benchmarks: the gradient-boosting fit, tree inference and
+// the trained-LRB access path that dominate the ML-heavy figures (fig4,
+// fig10, fig12). The data dimensions mirror LRB's steady-state retrain:
+// MaxTrain=8192 rows of NumFeatures log-scaled features, squared loss,
+// 30 trees of depth 4.
+
+// kernelBenchData builds the synthetic LRB-shaped training set shared by
+// the kernel benchmarks.
+func kernelBenchData() ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(42))
+	const n = 8192
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, lrb.NumFeatures)
+		for j := range row {
+			row[j] = rng.Float64() * 16 // log2-scaled feature range
+		}
+		X[i] = row
+		y[i] = rng.Float64() * 34 // log2(distance+1) targets
+	}
+	return X, y
+}
+
+// lrbRetrainGBM mirrors the hyperparameters of LRB's periodic retrain.
+func lrbRetrainGBM() *ml.GBM {
+	return &ml.GBM{Squared: true, Trees: 30, Depth: 4, LR: 0.2, MinLeaf: 16}
+}
+
+func BenchmarkGBMFit(b *testing.B) {
+	X, y := kernelBenchData()
+	m := lrbRetrainGBM()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := m.FitRegression(X, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTreePredict(b *testing.B) {
+	X, y := kernelBenchData()
+	t := &ml.RegressionTree{MaxDepth: 4, MinLeaf: 16}
+	t.Fit(X, y)
+	var sink float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sink += t.Predict(X[i%len(X)])
+	}
+	_ = sink
+}
+
+// BenchmarkLRBAccessTrained measures the per-request cost of a warmed,
+// trained LRB — feature extraction, sampling, labelling, periodic GBM
+// retrains and sampled eviction all included, exactly the path the fig12
+// grid replays.
+func BenchmarkLRBAccessTrained(b *testing.B) {
+	tr, err := scip.GenerateProfile(scip.CDNT, 0.001, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	capBytes := gen.CDNT.CacheBytes(64<<30, 0.001)
+	l := lrb.New(capBytes, lrb.WithSeed(1))
+	reqs := tr.Requests
+	for _, r := range reqs { // warm: fill, label and train
+		l.Access(r)
+	}
+	if !l.Trained() {
+		b.Fatal("LRB did not train during warmup")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Access(reqs[i%len(reqs)])
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreq/s")
 }
 
 // BenchmarkShardedAccessStats measures the cost of the per-access stats
