@@ -233,17 +233,17 @@ func BenchmarkParallelEngineFig8(b *testing.B) {
 
 // kernelBenchData builds the synthetic LRB-shaped training set shared by
 // the kernel benchmarks.
-func kernelBenchData() ([][]float64, []float64) {
+func kernelBenchData() (*ml.Matrix, []float64) {
 	rng := rand.New(rand.NewSource(42))
 	const n = 8192
-	X := make([][]float64, n)
+	X := &ml.Matrix{}
 	y := make([]float64, n)
-	for i := range X {
-		row := make([]float64, lrb.NumFeatures)
+	row := make([]float64, lrb.NumFeatures)
+	for i := range y {
 		for j := range row {
 			row[j] = rng.Float64() * 16 // log2-scaled feature range
 		}
-		X[i] = row
+		X.AppendRow(row)
 		y[i] = rng.Float64() * 34 // log2(distance+1) targets
 	}
 	return X, y
@@ -270,11 +270,12 @@ func BenchmarkTreePredict(b *testing.B) {
 	X, y := kernelBenchData()
 	t := &ml.RegressionTree{MaxDepth: 4, MinLeaf: 16}
 	t.Fit(X, y)
+	rows := X.Rows()
 	var sink float64
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sink += t.Predict(X[i%len(X)])
+		sink += t.Predict(X.Row(i % rows))
 	}
 	_ = sink
 }

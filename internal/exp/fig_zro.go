@@ -228,10 +228,10 @@ func runFig4(cfg Config) error {
 			d := &ml.Dataset{}
 			for _, e := range events {
 				if keep, y := task.want(e); keep {
-					// Copy: Standardize mutates rows in place and the
-					// events are shared across the three tasks.
-					d.X = append(d.X, append([]float64(nil), e.Features...))
-					d.Y = append(d.Y, y)
+					// Append copies the row, so Standardize mutating the
+					// dataset in place cannot touch the events shared
+					// across the three tasks.
+					d.Append(e.Features, y)
 				}
 			}
 			if d.Len() < 100 {

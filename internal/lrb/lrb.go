@@ -6,12 +6,16 @@
 // (or the window expires them); a gradient-boosted regression forest
 // predicts time-to-next-access; and eviction removes the
 // furthest-predicted object from a random sample of cached candidates.
+//
+// The sampling/training/eviction hot path is allocation-free in steady
+// state: pending samples live in a growable flat arena linked by offsets,
+// feature vectors are filled into fixed scratch, the training matrix is a
+// flat ml.Matrix trimmed by copy, and the GBM refits in place.
 package lrb
 
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/ml"
@@ -45,11 +49,20 @@ type objMeta struct {
 	storeIdx int
 }
 
-// pending is a training sample waiting for its label.
-type pending struct {
-	key  uint64
+// pendEntry is a training sample waiting for its label, stored in the
+// pending arena and linked to the next sample of the same key by slab
+// index (offsets survive slab growth; pointers would not).
+type pendEntry struct {
 	at   int64
-	feat []float64
+	next int32
+	feat [NumFeatures]float64
+}
+
+// pendList is the per-key chain of pending samples in sampling order.
+// Entries are always looked up with the comma-ok form, so the zero value
+// is never confused with a chain starting at slab index 0.
+type pendList struct {
+	head, tail int32
 }
 
 // Option configures an LRB cache.
@@ -103,20 +116,29 @@ type LRB struct {
 	seq       int64
 	meta      map[uint64]*objMeta
 	cached    []*objMeta // sampler over cached objects
+	metaFree  []*objMeta // recycled window-expired metadata
 	rng       *rand.Rand
 
-	pend      map[uint64][]pending
+	pend      map[uint64]pendList
+	pendSlab  []pendEntry // flat arena behind pend
+	pendFree  []int32     // free slab slots
+	expBuf    []int32     // window-expired samples, sorted before labelling
 	pendCount int
-	trainX    [][]float64
+	trainX    ml.Matrix
 	trainY    []float64
 	fresh     int
-	model     *ml.GBM
+	model     *ml.GBM // nil until first successful training
+	gbm       *ml.GBM // the persistent model instance model points at
+	featBuf   [NumFeatures]float64
 
 	ins cache.InsertionPolicy
 	buf []*objMeta
 }
 
-var _ cache.Policy = (*LRB)(nil)
+var (
+	_ cache.Policy   = (*LRB)(nil)
+	_ cache.Resetter = (*LRB)(nil)
+)
 
 // New returns an LRB cache of capBytes capacity.
 func New(capBytes int64, opts ...Option) *LRB {
@@ -129,7 +151,7 @@ func New(capBytes int64, opts ...Option) *LRB {
 		cap:         capBytes,
 		window:      1 << 17,
 		meta:        make(map[uint64]*objMeta, 1<<12),
-		pend:        make(map[uint64][]pending, 1<<12),
+		pend:        make(map[uint64]pendList, 1<<12),
 	}
 	for _, o := range opts {
 		o(l)
@@ -153,16 +175,40 @@ func (l *LRB) Trained() bool { return l.model != nil }
 // Evictions implements cache.EvictionCounter.
 func (l *LRB) Evictions() int64 { return l.evictions }
 
-// features builds the feature vector for m at the current sequence time.
-func (l *LRB) features(m *objMeta) []float64 {
-	f := make([]float64, 0, NumFeatures)
-	f = append(f,
-		math.Log2(float64(m.size)+1),
-		math.Log2(float64(l.seq-m.lastSeen)+1),
-	)
-	f = append(f, m.deltas[:]...)
-	f = append(f, m.edcs[:]...)
-	return f
+// Reset implements cache.Resetter: the cache returns to its New state —
+// counters and sequence rewound, the PRNG re-seeded from the stored seed
+// so the decision stream replays identically — while metadata, arena,
+// sampler and training storage are retained for reuse.
+func (l *LRB) Reset() {
+	for _, m := range l.meta {
+		//scip:ordered-ok freelist order only selects which recycled struct backs a later object; every field is reinitialised on reuse
+		l.metaFree = append(l.metaFree, m)
+	}
+	clear(l.meta)
+	clear(l.pend)
+	l.cached = l.cached[:0]
+	l.buf = l.buf[:0]
+	l.pendSlab = l.pendSlab[:0]
+	l.pendFree = l.pendFree[:0]
+	l.expBuf = l.expBuf[:0]
+	l.trainX.Reset(NumFeatures)
+	l.trainY = l.trainY[:0]
+	l.bytes, l.evictions, l.seq = 0, 0, 0
+	l.pendCount, l.fresh = 0, 0
+	l.model = nil // the persistent gbm keeps its buffers for the next fit
+	l.rng.Seed(l.seed + 907)
+	if r, ok := l.ins.(cache.Resetter); ok {
+		r.Reset()
+	}
+}
+
+// fillFeatures writes m's feature vector at the current sequence time
+// into dst (length NumFeatures).
+func (l *LRB) fillFeatures(m *objMeta, dst []float64) {
+	dst[0] = math.Log2(float64(m.size) + 1)
+	dst[1] = math.Log2(float64(l.seq-m.lastSeen) + 1)
+	copy(dst[2:2+numDeltas], m.deltas[:])
+	copy(dst[2+numDeltas:], m.edcs[:])
 }
 
 // touch updates the feature state of an object on access.
@@ -177,6 +223,29 @@ func (l *LRB) touch(m *objMeta) {
 	m.lastSeen = l.seq
 }
 
+// newMeta returns a fully initialised objMeta, recycling window-expired
+// structs when available.
+func (l *LRB) newMeta(key uint64, size int64) *objMeta {
+	if n := len(l.metaFree); n > 0 {
+		m := l.metaFree[n-1]
+		l.metaFree = l.metaFree[:n-1]
+		*m = objMeta{key: key, size: size, lastSeen: l.seq, storeIdx: -1}
+		return m
+	}
+	return &objMeta{key: key, size: size, lastSeen: l.seq, storeIdx: -1}
+}
+
+// allocPend returns a free pending-arena slot.
+func (l *LRB) allocPend() int32 {
+	if n := len(l.pendFree); n > 0 {
+		id := l.pendFree[n-1]
+		l.pendFree = l.pendFree[:n-1]
+		return id
+	}
+	l.pendSlab = append(l.pendSlab, pendEntry{})
+	return int32(len(l.pendSlab) - 1)
+}
+
 // Access implements cache.Policy.
 func (l *LRB) Access(req cache.Request) bool {
 	l.seq++
@@ -188,23 +257,39 @@ func (l *LRB) Access(req cache.Request) bool {
 	if l.ins != nil {
 		l.ins.OnAccess(req, hit)
 	}
-	// Label any pending training samples for this object.
+	// Label any pending training samples for this object, in sampling
+	// order (the chain preserves append order).
 	if ps, ok := l.pend[req.Key]; ok {
-		for _, p := range ps {
-			l.label(p.feat, float64(l.seq-p.at))
+		for id := ps.head; id != -1; {
+			e := &l.pendSlab[id]
+			l.label(e.feat[:], float64(l.seq-e.at))
+			next := e.next
+			l.pendFree = append(l.pendFree, id)
+			l.pendCount--
+			id = next
 		}
 		delete(l.pend, req.Key)
-		l.pendCount -= len(ps)
 	}
 	if !known {
-		m = &objMeta{key: req.Key, size: req.Size, lastSeen: l.seq, storeIdx: -1}
+		m = l.newMeta(req.Key, req.Size)
 		l.meta[req.Key] = m
 	} else {
 		l.touch(m)
 	}
 	// Subsample accesses into unlabeled training candidates.
 	if l.seq%int64(l.SampleEvery) == 0 {
-		l.pend[req.Key] = append(l.pend[req.Key], pending{key: req.Key, at: l.seq, feat: l.features(m)})
+		id := l.allocPend()
+		e := &l.pendSlab[id] // take the pointer after alloc: the slab may have grown
+		e.at = l.seq
+		e.next = -1
+		l.fillFeatures(m, e.feat[:])
+		if ps, ok := l.pend[req.Key]; ok {
+			l.pendSlab[ps.tail].next = id
+			ps.tail = id
+			l.pend[req.Key] = ps
+		} else {
+			l.pend[req.Key] = pendList{head: id, tail: id}
+		}
 		l.pendCount++
 	}
 	if hit {
@@ -248,23 +333,29 @@ func (l *LRB) Access(req cache.Request) bool {
 	return false
 }
 
-// label adds a completed training sample and triggers training.
+// label adds a completed training sample and triggers training. feat is
+// copied into the flat training matrix.
 func (l *LRB) label(feat []float64, dist float64) {
-	if len(l.trainX) >= l.MaxTrain {
+	if l.trainX.Rows() >= l.MaxTrain {
 		n := l.MaxTrain / 2
-		copy(l.trainX, l.trainX[len(l.trainX)-n:])
-		copy(l.trainY, l.trainY[len(l.trainY)-n:])
-		l.trainX = l.trainX[:n]
+		rows := l.trainX.Rows()
+		l.trainX.TrimFront(n)
+		copy(l.trainY, l.trainY[rows-n:])
 		l.trainY = l.trainY[:n]
 	}
-	l.trainX = append(l.trainX, feat)
+	l.trainX.AppendRow(feat)
 	l.trainY = append(l.trainY, math.Log2(dist+1))
 	l.fresh++
-	if l.fresh >= l.TrainEvery && len(l.trainX) >= 512 {
+	if l.fresh >= l.TrainEvery && l.trainX.Rows() >= 512 {
 		l.fresh = 0
-		m := &ml.GBM{Squared: true, Trees: 30, Depth: 4, LR: 0.2, MinLeaf: 16}
-		if err := m.FitRegression(l.trainX, l.trainY); err == nil {
-			l.model = m
+		if l.gbm == nil {
+			l.gbm = &ml.GBM{Squared: true, Trees: 30, Depth: 4, LR: 0.2, MinLeaf: 16}
+		}
+		// Refitting in place reuses the ensemble, score and histogram
+		// buffers; FitRegression only fails on an empty matrix, which
+		// the >= 512 row guard excludes.
+		if err := l.gbm.FitRegression(&l.trainX, l.trainY); err == nil {
+			l.model = l.gbm
 		}
 	}
 }
@@ -279,7 +370,8 @@ func (l *LRB) predictDistance(m *objMeta) float64 {
 		// first), mirroring LRB's LRU warm-up phase.
 		return float64(l.seq - m.lastSeen)
 	}
-	return l.model.Predict(l.features(m))
+	l.fillFeatures(m, l.featBuf[:])
+	return l.model.Predict(l.featBuf[:])
 }
 
 func (l *LRB) evictOne() {
@@ -332,34 +424,80 @@ func (l *LRB) pruneWindow() {
 	for k, m := range l.meta {
 		if !m.cached && m.lastSeen < cut {
 			delete(l.meta, k)
+			//scip:ordered-ok freelist order only selects which recycled struct backs a later object; every field is reinitialised on reuse
+			l.metaFree = append(l.metaFree, m)
 		}
 	}
 	// Collect expired samples first and label them in sampling order:
 	// label order feeds the training set, and the map's randomised
 	// iteration order would otherwise make the trained model — and so
 	// LRB's miss ratio — vary between identical runs.
-	var expired []pending
+	l.expBuf = l.expBuf[:0]
 	for k, ps := range l.pend {
-		kept := ps[:0]
-		for _, p := range ps {
-			if p.at >= cut {
-				kept = append(kept, p)
+		head, tail := int32(-1), int32(-1)
+		for id := ps.head; id != -1; {
+			e := &l.pendSlab[id]
+			next := e.next
+			if e.at >= cut {
+				e.next = -1
+				if head == -1 {
+					head = id
+				} else {
+					l.pendSlab[tail].next = id
+				}
+				tail = id
 			} else {
-				//scip:ordered-ok expired is sorted by the unique per-sample .at sequence number below, erasing map order before labelling
-				expired = append(expired, p)
+				//scip:ordered-ok expBuf is sorted by the unique per-sample .at sequence number below, erasing map order before labelling
+				l.expBuf = append(l.expBuf, id)
 			}
+			id = next
 		}
-		if len(kept) == 0 {
+		if head == -1 {
 			delete(l.pend, k)
 		} else {
-			l.pend[k] = kept
+			l.pend[k] = pendList{head: head, tail: tail}
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i].at < expired[j].at })
-	for _, p := range expired {
+	sortPendByAt(l.pendSlab, l.expBuf)
+	for _, id := range l.expBuf {
+		e := &l.pendSlab[id]
 		// Window expiry: label with the window length (the relaxed-Belady
 		// "beyond boundary" outcome).
-		l.label(p.feat, float64(l.window)*2)
+		l.label(e.feat[:], float64(l.window)*2)
+		l.pendFree = append(l.pendFree, id)
 		l.pendCount--
+	}
+}
+
+// sortPendByAt heapsorts arena ids by their entry's .at sequence number.
+// Sampling takes at most one sample per sequence tick, so the keys are
+// unique and heapsort's instability cannot affect the resulting order; a
+// zero-allocation sort keeps the prune path off the heap (sort.Slice
+// would allocate for its closure and interface header).
+func sortPendByAt(slab []pendEntry, ids []int32) {
+	n := len(ids)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftDownAt(slab, ids, i, n)
+	}
+	for end := n - 1; end > 0; end-- {
+		ids[0], ids[end] = ids[end], ids[0]
+		siftDownAt(slab, ids, 0, end)
+	}
+}
+
+func siftDownAt(slab []pendEntry, ids []int32, root, end int) {
+	for {
+		child := 2*root + 1
+		if child >= end {
+			return
+		}
+		if child+1 < end && slab[ids[child+1]].at > slab[ids[child]].at {
+			child++
+		}
+		if slab[ids[root]].at >= slab[ids[child]].at {
+			return
+		}
+		ids[root], ids[child] = ids[child], ids[root]
+		root = child
 	}
 }

@@ -65,8 +65,8 @@ func (m *Bandit) Fit(d *Dataset) error {
 	m.global = [2]reward{}
 	rng := newSplitMix(uint64(m.Seed) + 4)
 	for e := 0; e < m.Epochs; e++ {
-		for i, x := range d.X {
-			ctx := m.context(x)
+		for i := 0; i < d.Len(); i++ {
+			ctx := m.context(d.Row(i))
 			arm := m.chooseArm(ctx)
 			if float64(rng.next()%1000)/1000 < m.Epsilon {
 				arm = int(rng.next() % 2)
@@ -90,13 +90,14 @@ func (m *Bandit) fitCuts(d *Dataset) {
 	nf := d.Features()
 	m.cuts = make([][]float64, nf)
 	for f := 0; f < nf; f++ {
-		lo, hi := d.X[0][f], d.X[0][f]
-		for _, row := range d.X {
-			if row[f] < lo {
-				lo = row[f]
+		lo, hi := d.X.Data[f], d.X.Data[f]
+		for i := 0; i < d.Len(); i++ {
+			v := d.X.Data[i*nf+f]
+			if v < lo {
+				lo = v
 			}
-			if row[f] > hi {
-				hi = row[f]
+			if v > hi {
+				hi = v
 			}
 		}
 		cuts := make([]float64, m.BinsPerFeature-1)

@@ -5,9 +5,19 @@ import (
 	"math"
 )
 
+// gbmBins is the histogram resolution of the GBM's weak learners (the
+// RegressionTree default). It must fit a uint8 bin id for the root
+// quantization fast path.
+const gbmBins = 32
+
 // GBM is a gradient boosting machine over regression trees. With the
 // logistic loss it is the Figure-4 GBM classifier; with the squared loss
 // it is the regression model LRB trains to predict next-access distances.
+//
+// All fit state — boosted scores, residuals, the shared tree-growing
+// scratch and the weak learners themselves — lives on the GBM and is
+// reused across fits, so retraining on same-shaped data (the LRB loop:
+// one refit every TrainEvery labels) allocates nothing in steady state.
 type GBM struct {
 	// Trees is the ensemble size (default 50).
 	Trees int
@@ -22,6 +32,11 @@ type GBM struct {
 
 	base  float64
 	trees []*RegressionTree
+
+	pool    []*RegressionTree // recycled weak learners backing trees
+	f       []float64         // boosted score per row
+	resid   []float64         // pseudo-residuals per round
+	scratch fitScratch        // shared tree-growing buffers
 }
 
 // Name implements Classifier.
@@ -47,18 +62,18 @@ func (m *GBM) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
 	}
-	return m.FitRegression(d.X, d.Y)
+	return m.FitRegression(&d.X, d.Y)
 }
 
 // FitRegression trains on raw targets. With the logistic loss targets must
 // be 0/1; with Squared they may be arbitrary.
-func (m *GBM) FitRegression(X [][]float64, y []float64) error {
-	if len(X) == 0 {
+func (m *GBM) FitRegression(X *Matrix, y []float64) error {
+	n := X.Rows()
+	if n == 0 {
 		return errors.New("ml: empty dataset")
 	}
 	m.defaults()
 	m.trees = m.trees[:0]
-	n := len(y)
 	// Base score.
 	s := 0.0
 	for _, v := range y {
@@ -71,27 +86,45 @@ func (m *GBM) FitRegression(X [][]float64, y []float64) error {
 		p := math.Min(math.Max(avg, 1e-6), 1-1e-6)
 		m.base = math.Log(p / (1 - p))
 	}
-	f := make([]float64, n)
-	for i := range f {
-		f[i] = m.base
+	m.f = growFloats(m.f, n)
+	for i := range m.f {
+		m.f[i] = m.base
 	}
-	resid := make([]float64, n)
+	m.resid = growFloats(m.resid, n)
+	sc := &m.scratch
+	sc.ensure(n, X.Cols, gbmBins)
+	sc.prepareRoot(X, gbmBins)
+	// Leaves fold lr·value into f as they are created, replacing the old
+	// per-row re-traversal of each freshly fitted tree.
+	sc.score, sc.lr = m.f, m.LR
 	for t := 0; t < m.Trees; t++ {
-		for i := range resid {
+		for i := range m.resid {
 			if m.Squared {
-				resid[i] = y[i] - f[i]
+				m.resid[i] = y[i] - m.f[i]
 			} else {
-				resid[i] = y[i] - sigmoid(f[i])
+				m.resid[i] = y[i] - sigmoid(m.f[i])
 			}
 		}
-		tree := &RegressionTree{MaxDepth: m.Depth, MinLeaf: m.MinLeaf}
-		tree.Fit(X, resid)
+		tree := m.tree(t)
+		// The previous tree's growth partitioned the shared permutation;
+		// refill the values (the slice itself is built once per fit).
+		sc.fillIdx(n)
+		tree.fit(X, m.resid, sc, n)
 		m.trees = append(m.trees, tree)
-		for i := range f {
-			f[i] += m.LR * tree.Predict(X[i])
-		}
 	}
+	sc.score, sc.rootReady = nil, false
 	return nil
+}
+
+// tree returns the i-th pooled weak learner, creating it on first use and
+// re-stamping the hyperparameters on reuse.
+func (m *GBM) tree(i int) *RegressionTree {
+	if i == len(m.pool) {
+		m.pool = append(m.pool, &RegressionTree{})
+	}
+	t := m.pool[i]
+	t.MaxDepth, t.MinLeaf, t.Bins = m.Depth, m.MinLeaf, gbmBins
+	return t
 }
 
 // PredictRaw returns the raw additive score (log-odds for logistic loss,

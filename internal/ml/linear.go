@@ -7,18 +7,24 @@ import (
 
 // LinReg is ridge-regularised linear regression solved by the normal
 // equations (the feature counts in this repository are small). For binary
-// classification the regression output is thresholded at 0.5.
+// classification the regression output is thresholded at 0.5. The
+// augmented system and solution are built in reusable flat buffers, so a
+// refit (the GL-Cache training loop) allocates nothing in steady state.
 type LinReg struct {
 	// L2 is the ridge penalty (default 1e-3).
 	L2 float64
 
 	w []float64 // last element is the bias
+
+	a   []float64 // flat augmented system, nf rows × (nf+1) stride
+	row []float64 // one bias-extended input row
 }
 
 // Name implements Classifier.
 func (m *LinReg) Name() string { return "LinReg" }
 
-// Fit implements Classifier by solving (XᵀX + λI) w = XᵀY.
+// Fit implements Classifier by solving (XᵀX + λI) w = XᵀY. On a singular
+// system the previous weights (if any) are kept.
 func (m *LinReg) Fit(d *Dataset) error {
 	if err := d.Validate(); err != nil {
 		return err
@@ -30,27 +36,36 @@ func (m *LinReg) Fit(d *Dataset) error {
 		m.L2 = 1e-3
 	}
 	nf := d.Features() + 1 // plus bias
+	stride := nf + 1
 	// Build the normal equations.
-	a := make([][]float64, nf)
+	m.a = growFloats(m.a, nf*stride)
+	a := m.a
 	for i := range a {
-		a[i] = make([]float64, nf+1)
+		a[i] = 0
 	}
-	row := make([]float64, nf)
-	for r, x := range d.X {
-		copy(row, x)
+	m.row = growFloats(m.row, nf)
+	row := m.row
+	for r := 0; r < d.Len(); r++ {
+		copy(row, d.Row(r))
 		row[nf-1] = 1
+		yr := d.Y[r]
 		for i := 0; i < nf; i++ {
+			ai := a[i*stride : i*stride+stride]
+			ri := row[i]
 			for j := 0; j < nf; j++ {
-				a[i][j] += row[i] * row[j]
+				ai[j] += ri * row[j]
 			}
-			a[i][nf] += row[i] * d.Y[r]
+			ai[nf] += ri * yr
 		}
 	}
 	for i := 0; i < nf; i++ {
-		a[i][i] += m.L2
+		a[i*stride+i] += m.L2
 	}
-	w, err := solveGauss(a)
-	if err != nil {
+	// solveGauss writes w only after elimination succeeds, so a singular
+	// refit returns with the current model intact even though w reuses
+	// m.w's backing array.
+	w := growFloats(m.w, nf)
+	if err := solveGauss(a, nf, w); err != nil {
 		return err
 	}
 	m.w = w
@@ -76,38 +91,44 @@ func (m *LinReg) Predict(x []float64) float64 {
 	return z
 }
 
-// solveGauss solves the augmented system a (n × n+1) by Gaussian
-// elimination with partial pivoting.
-func solveGauss(a [][]float64) ([]float64, error) {
-	n := len(a)
+// solveGauss solves the flat augmented system a (n rows with stride n+1)
+// by Gaussian elimination with partial pivoting, writing the solution
+// into w (length n) only when elimination succeeds.
+func solveGauss(a []float64, n int, w []float64) error {
+	stride := n + 1
 	for col := 0; col < n; col++ {
 		// Pivot.
 		p := col
 		for r := col + 1; r < n; r++ {
-			if abs(a[r][col]) > abs(a[p][col]) {
+			if abs(a[r*stride+col]) > abs(a[p*stride+col]) {
 				p = r
 			}
 		}
-		if abs(a[p][col]) < 1e-12 {
-			return nil, errors.New("ml: singular system")
+		if abs(a[p*stride+col]) < 1e-12 {
+			return errors.New("ml: singular system")
 		}
-		a[col], a[p] = a[p], a[col]
+		if p != col {
+			for c := 0; c <= n; c++ {
+				a[col*stride+c], a[p*stride+c] = a[p*stride+c], a[col*stride+c]
+			}
+		}
 		// Eliminate.
+		piv := a[col*stride : col*stride+stride]
 		for r := 0; r < n; r++ {
 			if r == col {
 				continue
 			}
-			f := a[r][col] / a[col][col]
+			ar := a[r*stride : r*stride+stride]
+			f := ar[col] / piv[col]
 			for c := col; c <= n; c++ {
-				a[r][c] -= f * a[col][c]
+				ar[c] -= f * piv[c]
 			}
 		}
 	}
-	w := make([]float64, n)
 	for i := 0; i < n; i++ {
-		w[i] = a[i][n] / a[i][i]
+		w[i] = a[i*stride+n] / a[i*stride+i]
 	}
-	return w, nil
+	return nil
 }
 
 func abs(v float64) float64 {
@@ -156,7 +177,7 @@ func (m *LogReg) Fit(d *Dataset) error {
 	for e := 0; e < m.Epochs; e++ {
 		lr := m.LR / (1 + 0.05*float64(e))
 		for _, i := range rng.Perm(d.Len()) {
-			x := d.X[i]
+			x := d.Row(i)
 			z := m.w[nf] + dot(m.w[:nf], x)
 			g := sigmoid(z) - d.Y[i]
 			for j, v := range x {
@@ -214,7 +235,7 @@ func (m *SVM) Fit(d *Dataset) error {
 		for _, i := range rng.Perm(d.Len()) {
 			lr := 1 / (m.Lambda * float64(t))
 			t++
-			x := d.X[i]
+			x := d.Row(i)
 			y := 2*d.Y[i] - 1 // {0,1} -> {-1,+1}
 			z := m.w[nf] + dot(m.w[:nf], x)
 			for j := range m.w[:nf] {

@@ -12,51 +12,53 @@ import (
 	"math/rand"
 )
 
-// Dataset is a design matrix with binary labels (0 or 1).
+// Dataset is a design matrix with binary labels (0 or 1). Rows live in a
+// flat row-major Matrix; Append copies the feature vector, so callers may
+// reuse their scratch row.
 type Dataset struct {
-	X [][]float64
+	X Matrix
 	Y []float64
 }
 
 // Len returns the number of rows.
-func (d *Dataset) Len() int { return len(d.X) }
+func (d *Dataset) Len() int { return d.X.Rows() }
 
 // Features returns the number of columns, or 0 for an empty set.
-func (d *Dataset) Features() int {
-	if len(d.X) == 0 {
-		return 0
-	}
-	return len(d.X[0])
+func (d *Dataset) Features() int { return d.X.Cols }
+
+// Append adds one observation, copying x into the flat matrix.
+func (d *Dataset) Append(x []float64, y float64) {
+	d.X.AppendRow(x)
+	d.Y = append(d.Y, y)
 }
+
+// Row returns feature row i, aliasing the matrix backing array.
+func (d *Dataset) Row(i int) []float64 { return d.X.Row(i) }
 
 // Validate checks shape consistency.
 func (d *Dataset) Validate() error {
-	if len(d.X) != len(d.Y) {
-		return fmt.Errorf("ml: %d rows but %d labels", len(d.X), len(d.Y))
+	if d.X.Cols > 0 && len(d.X.Data)%d.X.Cols != 0 {
+		return fmt.Errorf("ml: %d matrix values do not tile stride %d", len(d.X.Data), d.X.Cols)
 	}
-	nf := d.Features()
-	for i, row := range d.X {
-		if len(row) != nf {
-			return fmt.Errorf("ml: row %d has %d features, want %d", i, len(row), nf)
-		}
+	if d.X.Rows() != len(d.Y) {
+		return fmt.Errorf("ml: %d rows but %d labels", d.X.Rows(), len(d.Y))
 	}
 	return nil
 }
 
 // Split partitions the dataset into train and test sets with the given
-// train fraction, shuffling deterministically with seed.
+// train fraction, shuffling deterministically with seed. Rows are copied
+// into the new datasets.
 func (d *Dataset) Split(trainFrac float64, seed int64) (train, test *Dataset) {
 	rng := rand.New(rand.NewSource(seed))
-	idx := rng.Perm(len(d.X))
-	n := int(trainFrac * float64(len(d.X)))
+	idx := rng.Perm(d.Len())
+	n := int(trainFrac * float64(d.Len()))
 	train, test = &Dataset{}, &Dataset{}
 	for i, j := range idx {
 		if i < n {
-			train.X = append(train.X, d.X[j])
-			train.Y = append(train.Y, d.Y[j])
+			train.Append(d.Row(j), d.Y[j])
 		} else {
-			test.X = append(test.X, d.X[j])
-			test.Y = append(test.Y, d.Y[j])
+			test.Append(d.Row(j), d.Y[j])
 		}
 	}
 	return train, test
@@ -69,20 +71,20 @@ func (d *Dataset) Standardize() (mean, std []float64) {
 	nf := d.Features()
 	mean = make([]float64, nf)
 	std = make([]float64, nf)
-	n := float64(len(d.X))
+	n := float64(d.Len())
 	if n == 0 {
 		return mean, std
 	}
-	for _, row := range d.X {
-		for j, v := range row {
+	for i := 0; i < d.Len(); i++ {
+		for j, v := range d.Row(i) {
 			mean[j] += v
 		}
 	}
 	for j := range mean {
 		mean[j] /= n
 	}
-	for _, row := range d.X {
-		for j, v := range row {
+	for i := 0; i < d.Len(); i++ {
+		for j, v := range d.Row(i) {
 			dv := v - mean[j]
 			std[j] += dv * dv
 		}
@@ -99,7 +101,8 @@ func (d *Dataset) Standardize() (mean, std []float64) {
 
 // ApplyScaling transforms features in place with the given statistics.
 func (d *Dataset) ApplyScaling(mean, std []float64) {
-	for _, row := range d.X {
+	for i := 0; i < d.Len(); i++ {
+		row := d.Row(i)
 		for j := range row {
 			row[j] = (row[j] - mean[j]) / std[j]
 		}
@@ -123,9 +126,9 @@ func Accuracy(c Classifier, d *Dataset) float64 {
 		return 0
 	}
 	correct := 0
-	for i, x := range d.X {
+	for i := 0; i < d.Len(); i++ {
 		pred := 0.0
-		if c.Predict(x) >= 0.5 {
+		if c.Predict(d.Row(i)) >= 0.5 {
 			pred = 1
 		}
 		if pred == d.Y[i] {

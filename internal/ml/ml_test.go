@@ -18,8 +18,7 @@ func linearlySeparable(n int, seed int64) *Dataset {
 		if 2*x[0]-x[1]+0.3 > 0 {
 			y = 1
 		}
-		d.X = append(d.X, x)
-		d.Y = append(d.Y, y)
+		d.Append(x, y)
 	}
 	return d
 }
@@ -35,8 +34,7 @@ func xorLike(n int, seed int64) *Dataset {
 		if (x[0] > 0) == (x[1] > 0) {
 			y = 1
 		}
-		d.X = append(d.X, x)
-		d.Y = append(d.Y, y)
+		d.Append(x, y)
 	}
 	return d
 }
@@ -89,11 +87,11 @@ func TestNonlinearModelsOnXOR(t *testing.T) {
 }
 
 func TestDatasetValidate(t *testing.T) {
-	d := &Dataset{X: [][]float64{{1, 2}, {3}}, Y: []float64{0, 1}}
+	d := &Dataset{X: Matrix{Data: []float64{1, 2, 3}, Cols: 2}, Y: []float64{0, 1}}
 	if err := d.Validate(); err == nil {
-		t.Fatal("ragged rows accepted")
+		t.Fatal("ragged matrix accepted")
 	}
-	d2 := &Dataset{X: [][]float64{{1, 2}}, Y: []float64{0, 1}}
+	d2 := &Dataset{X: MatrixFromRows([][]float64{{1, 2}}), Y: []float64{0, 1}}
 	if err := d2.Validate(); err == nil {
 		t.Fatal("row/label mismatch accepted")
 	}
@@ -116,19 +114,19 @@ func TestSplitPartitions(t *testing.T) {
 }
 
 func TestStandardize(t *testing.T) {
-	d := &Dataset{X: [][]float64{{1, 10}, {3, 20}, {5, 30}}, Y: []float64{0, 1, 0}}
+	d := &Dataset{X: MatrixFromRows([][]float64{{1, 10}, {3, 20}, {5, 30}}), Y: []float64{0, 1, 0}}
 	mean, std := d.Standardize()
 	if math.Abs(mean[0]-3) > 1e-9 || math.Abs(mean[1]-20) > 1e-9 {
 		t.Fatalf("means %v", mean)
 	}
 	for j := 0; j < 2; j++ {
 		var m, v float64
-		for _, row := range d.X {
-			m += row[j]
+		for i := 0; i < d.Len(); i++ {
+			m += d.Row(i)[j]
 		}
 		m /= 3
-		for _, row := range d.X {
-			v += (row[j] - m) * (row[j] - m)
+		for i := 0; i < d.Len(); i++ {
+			v += (d.Row(i)[j] - m) * (d.Row(i)[j] - m)
 		}
 		if math.Abs(m) > 1e-9 || math.Abs(v/3-1) > 1e-9 {
 			t.Fatalf("feature %d not standardised: mean=%g var=%g", j, m, v/3)
@@ -138,13 +136,13 @@ func TestStandardize(t *testing.T) {
 }
 
 func TestStandardizeConstantFeature(t *testing.T) {
-	d := &Dataset{X: [][]float64{{7}, {7}}, Y: []float64{0, 1}}
+	d := &Dataset{X: MatrixFromRows([][]float64{{7}, {7}}), Y: []float64{0, 1}}
 	_, std := d.Standardize()
 	if std[0] != 1 {
 		t.Fatalf("constant feature std = %g, want fallback 1", std[0])
 	}
-	for _, row := range d.X {
-		if math.IsNaN(row[0]) || math.IsInf(row[0], 0) {
+	for _, v := range d.X.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
 			t.Fatal("NaN/Inf after scaling constant feature")
 		}
 	}
@@ -156,8 +154,7 @@ func TestLinRegRecoverCoefficients(t *testing.T) {
 	d := &Dataset{}
 	for i := 0; i < 500; i++ {
 		x := []float64{rng.Float64(), rng.Float64()}
-		d.X = append(d.X, x)
-		d.Y = append(d.Y, 0.5*x[0]-0.25*x[1]+0.1)
+		d.Append(x, 0.5*x[0]-0.25*x[1]+0.1)
 	}
 	m := &LinReg{}
 	if err := m.Fit(d); err != nil {
@@ -169,10 +166,10 @@ func TestLinRegRecoverCoefficients(t *testing.T) {
 }
 
 func TestTreePredictsConstantRegions(t *testing.T) {
-	X := [][]float64{{0}, {1}, {2}, {3}, {10}, {11}, {12}, {13}}
+	X := MatrixFromRows([][]float64{{0}, {1}, {2}, {3}, {10}, {11}, {12}, {13}})
 	y := []float64{1, 1, 1, 1, 5, 5, 5, 5}
 	tr := &RegressionTree{MaxDepth: 2, MinLeaf: 1}
-	tr.Fit(X, y)
+	tr.Fit(&X, y)
 	if got := tr.Predict([]float64{1.5}); math.Abs(got-1) > 1e-9 {
 		t.Fatalf("left region predicts %g, want 1", got)
 	}
@@ -193,23 +190,23 @@ func TestTreeUnfittedPredictZero(t *testing.T) {
 
 func TestGBMRegression(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
-	var X [][]float64
+	var X Matrix
 	var y []float64
 	for i := 0; i < 1500; i++ {
 		x := []float64{rng.Float64() * 10}
-		X = append(X, x)
+		X.AppendRow(x)
 		y = append(y, math.Sin(x[0]))
 	}
 	m := &GBM{Squared: true, Trees: 150, Depth: 3}
-	if err := m.FitRegression(X, y); err != nil {
+	if err := m.FitRegression(&X, y); err != nil {
 		t.Fatal(err)
 	}
 	mse := 0.0
-	for i := range X {
-		d := m.Predict(X[i]) - y[i]
+	for i := 0; i < X.Rows(); i++ {
+		d := m.Predict(X.Row(i)) - y[i]
 		mse += d * d
 	}
-	mse /= float64(len(X))
+	mse /= float64(X.Rows())
 	if mse > 0.02 {
 		t.Fatalf("GBM regression MSE %.4f > 0.02", mse)
 	}
@@ -219,8 +216,9 @@ func TestGBMRegression(t *testing.T) {
 }
 
 func TestGaussSingular(t *testing.T) {
-	a := [][]float64{{1, 1, 2}, {1, 1, 2}} // singular 2x2
-	if _, err := solveGauss(a); err == nil {
+	a := []float64{1, 1, 2, 1, 1, 2} // singular 2x2, stride 3
+	w := make([]float64, 2)
+	if err := solveGauss(a, 2, w); err == nil {
 		t.Fatal("singular system solved")
 	}
 }
@@ -267,7 +265,8 @@ func TestBanditDeterministic(t *testing.T) {
 	if err := b.Fit(d); err != nil {
 		t.Fatal(err)
 	}
-	for _, x := range d.X[:50] {
+	for i := 0; i < 50; i++ {
+		x := d.Row(i)
 		if a.Predict(x) != b.Predict(x) {
 			t.Fatal("bandit not deterministic for fixed seed")
 		}

@@ -95,7 +95,7 @@ func (m *NN) Fit(d *Dataset) error {
 				}
 			}
 			for _, i := range perm[start:end] {
-				x := d.X[i]
+				x := d.Row(i)
 				out := m.forward(x, hidden)
 				delta := out - d.Y[i]
 				for h := 0; h < m.Hidden; h++ {

@@ -27,16 +27,16 @@ type DTA struct {
 
 	tree        *ml.RegressionTree
 	trained     bool
-	bufX        [][]float64
+	bufX        ml.Matrix
 	bufY        []float64
 	resolved    int
-	curFeatures []float64
+	curFeatures [dtaFeatures]float64
 
 	// Per-object running stats for features.
 	lastSeen map[uint64]int64
 	freq     map[uint64]int
 	// Pending features of currently-resident objects, keyed by object.
-	pending map[uint64][]float64
+	pending map[uint64][dtaFeatures]float64
 
 	now int64
 	req int
@@ -50,19 +50,23 @@ func NewDTA() *DTA {
 		Threshold: 0.5,
 		lastSeen:  make(map[uint64]int64, 1<<12),
 		freq:      make(map[uint64]int, 1<<12),
-		pending:   make(map[uint64][]float64, 1<<12),
+		pending:   make(map[uint64][dtaFeatures]float64, 1<<12),
 	}
 }
 
 // Name implements cache.InsertionPolicy.
 func (d *DTA) Name() string { return "DTA" }
 
-func (d *DTA) features(req cache.Request) []float64 {
+// dtaFeatures is the insertion-time feature count (size class, recency,
+// frequency).
+const dtaFeatures = 3
+
+func (d *DTA) features(req cache.Request) [dtaFeatures]float64 {
 	gap := 0.0
 	if last, ok := d.lastSeen[req.Key]; ok {
 		gap = float64(d.req) - float64(last)
 	}
-	return []float64{
+	return [dtaFeatures]float64{
 		float64(bits.Len64(uint64(req.Size))),
 		math.Log2(gap + 1),
 		math.Log2(float64(d.freq[req.Key]) + 1),
@@ -102,23 +106,25 @@ func (d *DTA) OnEvict(ev cache.EvictInfo) {
 	}
 }
 
-func (d *DTA) record(f []float64, dead float64) {
-	if len(d.bufX) >= d.Buffer {
+func (d *DTA) record(f [dtaFeatures]float64, dead float64) {
+	if d.bufX.Rows() >= d.Buffer {
 		// Drop the oldest half to keep the buffer fresh without
 		// reallocating per sample.
 		n := d.Buffer / 2
-		copy(d.bufX, d.bufX[len(d.bufX)-n:])
-		copy(d.bufY, d.bufY[len(d.bufY)-n:])
-		d.bufX = d.bufX[:n]
+		rows := d.bufX.Rows()
+		d.bufX.TrimFront(n)
+		copy(d.bufY, d.bufY[rows-n:])
 		d.bufY = d.bufY[:n]
 	}
-	d.bufX = append(d.bufX, f)
+	d.bufX.AppendRow(f[:])
 	d.bufY = append(d.bufY, dead)
 	d.resolved++
-	if d.resolved%d.Retrain == 0 && len(d.bufX) >= 256 {
-		t := &ml.RegressionTree{MaxDepth: 4, MinLeaf: 32}
-		t.Fit(d.bufX, d.bufY)
-		d.tree = t
+	if d.resolved%d.Retrain == 0 && d.bufX.Rows() >= 256 {
+		if d.tree == nil {
+			d.tree = &ml.RegressionTree{MaxDepth: 4, MinLeaf: 32}
+		}
+		// Refitting in place reuses the node array and grow scratch.
+		d.tree.Fit(&d.bufX, d.bufY)
 		d.trained = true
 	}
 }
@@ -127,7 +133,7 @@ func (d *DTA) record(f []float64, dead float64) {
 func (d *DTA) ChooseInsert(req cache.Request) cache.Position {
 	f := d.curFeatures
 	d.pending[req.Key] = f
-	if d.trained && d.tree.Predict(f) > d.Threshold {
+	if d.trained && d.tree.Predict(f[:]) > d.Threshold {
 		return cache.LRU
 	}
 	return cache.MRU

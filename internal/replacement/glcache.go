@@ -61,9 +61,16 @@ type GLCache struct {
 	open   *glGroup
 	groups []*glGroup
 	h      groupHeap
-	model  *ml.LinReg
+	model  *ml.LinReg // nil until first successful training
 	nextID int64
+
+	lin     *ml.LinReg // the persistent model instance model points at
+	ds      ml.Dataset // reused training buffer
+	featBuf [glFeatures]float64
 }
+
+// glFeatures is the group-level feature count.
+const glFeatures = 4
 
 var _ cache.Policy = (*GLCache)(nil)
 
@@ -107,20 +114,19 @@ func (g *GLCache) newOpenGroup() {
 	g.groups = append(g.groups, g.open)
 }
 
-// features extracts the group-level feature vector.
-func (g *GLCache) features(gr *glGroup) []float64 {
+// fillFeatures writes the group-level feature vector into dst (length
+// glFeatures).
+func (g *GLCache) fillFeatures(gr *glGroup, dst []float64) {
 	age := float64(g.seq - gr.createdAt)
 	n := float64(len(gr.objects))
 	if n == 0 {
 		n = 1
 	}
 	meanSize := float64(gr.bytes) / n
-	return []float64{
-		math.Log2(age + 1),
-		math.Log2(meanSize + 1),
-		gr.hits / n,
-		float64(gr.liveBytes) / math.Max(float64(gr.bytes), 1),
-	}
+	dst[0] = math.Log2(age + 1)
+	dst[1] = math.Log2(meanSize + 1)
+	dst[2] = gr.hits / n
+	dst[3] = float64(gr.liveBytes) / math.Max(float64(gr.bytes), 1)
 }
 
 // Access implements cache.Policy.
@@ -164,7 +170,8 @@ func (g *GLCache) predict(gr *glGroup) float64 {
 		// Untrained: prefer evicting older groups (FIFO-like bootstrap).
 		return float64(gr.createdAt)
 	}
-	return g.model.Predict(g.features(gr))
+	g.fillFeatures(gr, g.featBuf[:])
+	return g.model.Predict(g.featBuf[:])
 }
 
 // evictOne removes one object from the lowest-utility sealed group.
@@ -200,22 +207,27 @@ func (g *GLCache) evictOne() {
 // accrued per object since the previous snapshot, features are the group
 // descriptors; predictions re-rank the eviction heap.
 func (g *GLCache) train() {
-	var X [][]float64
-	var y []float64
+	g.ds.X.Reset(glFeatures)
+	g.ds.Y = g.ds.Y[:0]
 	for _, gr := range g.groups {
 		if !gr.sealed || len(gr.objects) == 0 {
 			continue
 		}
-		X = append(X, g.features(gr))
-		y = append(y, (gr.hits-gr.snapHits)/float64(len(gr.objects)))
+		g.fillFeatures(gr, g.featBuf[:])
+		g.ds.Append(g.featBuf[:], (gr.hits-gr.snapHits)/float64(len(gr.objects)))
 		gr.snapHits = gr.hits
 		gr.hits *= 0.5 // decay so utility tracks recent behaviour
 		gr.snapHits *= 0.5
 	}
-	if len(X) >= 8 {
-		m := &ml.LinReg{}
-		if err := m.Fit(&ml.Dataset{X: X, Y: y}); err == nil {
-			g.model = m
+	if g.ds.Len() >= 8 {
+		if g.lin == nil {
+			g.lin = &ml.LinReg{}
+		}
+		// Refitting in place reuses the normal-equation buffers; on a
+		// singular system the previous weights survive, matching the old
+		// keep-the-last-model behaviour.
+		if err := g.lin.Fit(&g.ds); err == nil {
+			g.model = g.lin
 		}
 	}
 	// Re-rank the heap under the new model.
