@@ -10,7 +10,7 @@ GO ?= go
 # listed here so `make vet` covers it.
 VET_TAGS ?=
 
-.PHONY: check fmt-check vet lint build test test-race fuzz bench bench-figures load
+.PHONY: check fmt-check vet lint build test test-race fuzz bench bench-kernels bench-figures load
 
 check: fmt-check vet lint build test test-race
 
@@ -50,6 +50,15 @@ fuzz:
 # Hot-path and per-figure micro benchmarks at reduced scale.
 bench:
 	$(GO) test -run '^$$' -bench . -benchmem .
+
+# The ML-kernel trio behind the flat-matrix hot path: GBM training, the
+# trained LRB access path, and single-tree prediction. BENCHTIME=5x (the
+# CI setting) keeps it to a smoke run; raise it locally for stable
+# numbers, e.g. `make bench-kernels BENCHTIME=2s`.
+BENCHTIME ?= 1s
+bench-kernels:
+	$(GO) test -run '^$$' -bench 'BenchmarkGBMFit|BenchmarkLRBAccessTrained|BenchmarkTreePredict' \
+		-benchtime $(BENCHTIME) -benchmem .
 
 # Full figure regeneration with per-figure timings in BENCH.json.
 bench-figures:

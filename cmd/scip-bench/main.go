@@ -4,6 +4,7 @@
 // Usage:
 //
 //	scip-bench [-scale 0.01] [-seeds 3] [-quick] [-parallel] [-workers N] [-json BENCH.json] \
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof] \
 //	    [all|table1|fig1|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|fig12|ablation ...]
 //
 // With no experiment arguments it lists the available experiments.
@@ -12,6 +13,8 @@
 // default on, sized by GOMAXPROCS or -workers); table output is
 // byte-identical to the serial run (-parallel=false). Per-figure wall
 // times are written as machine-readable JSON to the -json path.
+// -cpuprofile/-memprofile write pprof profiles covering the selected
+// experiments (see EXPERIMENTS.md "Profiling the hot paths").
 package main
 
 import (
@@ -54,7 +57,22 @@ func main() {
 	parallel := flag.Bool("parallel", true, "run independent experiment cells on a worker pool (output is byte-identical either way)")
 	workers := flag.Int("workers", 0, "worker pool size with -parallel (0 = GOMAXPROCS)")
 	jsonPath := flag.String("json", "BENCH.json", "write per-figure timings as JSON to this path (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfiles, err := sim.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := stopProfiles(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
+	}
 
 	cfg := exp.DefaultConfig(os.Stdout)
 	cfg.Scale = *scale

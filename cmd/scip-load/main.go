@@ -9,7 +9,7 @@
 //
 //	scip-load [-profile CDN-T] [-scale 0.01] [-seed 1] [-trace file] [-csv|-lrb]
 //	    [-policy SCIP] [-cache 655MiB] [-shards 8] [-workers N] [-repeat 1]
-//	    [-interval 1s] [-json LOAD.json]
+//	    [-interval 1s] [-json LOAD.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The trace is partitioned by shard, not by request index: every shard's
 // request subsequence is replayed in trace order by exactly one worker, so
@@ -160,11 +160,25 @@ func main() {
 	repeat := flag.Int("repeat", 1, "replay the trace this many times")
 	interval := flag.Duration("interval", 1*time.Second, "live snapshot period (0 disables)")
 	jsonPath := flag.String("json", "LOAD.json", "write the final report as JSON to this path (empty disables)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" || *memProfile != "" {
+		stopProfiles, err := sim.StartProfiles(*cpuProfile, *memProfile)
+		if err != nil {
+			fail(err)
+		}
+		defer func() {
+			if err := stopProfiles(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}()
 	}
 
 	var (

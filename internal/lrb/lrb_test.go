@@ -119,6 +119,66 @@ func (demoteAll) ChoosePromote(cache.Request) cache.Position { return cache.LRU 
 func (demoteAll) OnEvict(cache.EvictInfo)                    {}
 func (demoteAll) OnAccess(cache.Request, bool)               {}
 
+func TestLRBResetReplaysIdenticalStream(t *testing.T) {
+	// Reset must rewind the policy to its New state: replaying the same
+	// trace on a reset instance — whose metadata structs, pending arena
+	// and training matrix are recycled rather than reallocated — has to
+	// reproduce the fresh instance's exact hit/miss stream.
+	tr := testTrace(t, 10, 60_000)
+	replay := func(l *LRB) uint64 {
+		var sig uint64
+		for i, r := range tr.Requests {
+			if l.Access(r) {
+				sig = sig*31 + uint64(i)
+			}
+		}
+		return sig
+	}
+	l := New(100_000, WithSeed(11), WithWindow(1<<12))
+	fresh := replay(l)
+	if !l.Trained() {
+		t.Fatal("model never trained; test exercises nothing")
+	}
+	l.Reset()
+	if l.Trained() {
+		t.Fatal("Reset kept a trained model")
+	}
+	if l.Used() != 0 || l.Evictions() != 0 {
+		t.Fatalf("Reset kept counters: used=%d evictions=%d", l.Used(), l.Evictions())
+	}
+	for round := 1; round <= 2; round++ {
+		if sig := replay(l); sig != fresh {
+			t.Fatalf("reset replay %d diverged: %#x != %#x", round, sig, fresh)
+		}
+		l.Reset()
+	}
+}
+
+func TestLRBAccessAllocsSteadyState(t *testing.T) {
+	// Once warm — metadata map populated, pending arena and training
+	// matrix at their high-water marks, first model fit — the sampled
+	// access path (feature extraction, sample labelling, periodic GBM
+	// retrains, window pruning, sampled eviction) must stay off the heap.
+	// The warm-up is long enough that trainX has hit MaxTrain and been
+	// halved at least once, so no backing array grows afterwards.
+	tr := testTrace(t, 12, 120_000)
+	l := New(100_000, WithSeed(13), WithWindow(1<<12))
+	for _, r := range tr.Requests {
+		l.Access(r)
+	}
+	if !l.Trained() {
+		t.Fatal("LRB did not train during warm-up")
+	}
+	reqs := tr.Requests
+	i := 0
+	if a := testing.AllocsPerRun(20_000, func() {
+		l.Access(reqs[i%len(reqs)])
+		i++
+	}); a != 0 {
+		t.Fatalf("steady-state access allocates %.4f allocs/op, want 0", a)
+	}
+}
+
 func TestLRBDeterministic(t *testing.T) {
 	// The small window forces many pruneWindow sweeps: window-expired
 	// samples must be labelled in sampling order, not in the map's

@@ -278,3 +278,53 @@ func TestAccuracyEmpty(t *testing.T) {
 		t.Fatal("accuracy on empty set should be 0")
 	}
 }
+
+func TestGBMRefitNoAllocs(t *testing.T) {
+	// Steady-state retraining — the LRB loop refits the same GBM on a
+	// same-shaped window every TrainEvery labels — must reuse the pooled
+	// trees, fit scratch and score buffers instead of touching the heap.
+	// The first fit sizes everything; every later fit must be free.
+	rng := rand.New(rand.NewSource(17))
+	var X Matrix
+	y := make([]float64, 0, 2048)
+	row := make([]float64, 14)
+	for i := 0; i < 2048; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 16
+		}
+		X.AppendRow(row)
+		y = append(y, rng.Float64()*34)
+	}
+	m := &GBM{Squared: true, Trees: 30, Depth: 4, LR: 0.2, MinLeaf: 16}
+	if err := m.FitRegression(&X, y); err != nil {
+		t.Fatal(err)
+	}
+	if a := testing.AllocsPerRun(5, func() {
+		if err := m.FitRegression(&X, y); err != nil {
+			t.Fatal(err)
+		}
+	}); a != 0 {
+		t.Fatalf("steady-state refit allocates %.1f allocs/op, want 0", a)
+	}
+}
+
+func TestTreeRefitNoAllocs(t *testing.T) {
+	// The DTA policy refits one standalone RegressionTree in place; like
+	// the GBM, refitting on same-shaped data must be allocation-free.
+	rng := rand.New(rand.NewSource(23))
+	var X Matrix
+	y := make([]float64, 0, 1024)
+	row := make([]float64, 3)
+	for i := 0; i < 1024; i++ {
+		for j := range row {
+			row[j] = rng.Float64() * 8
+		}
+		X.AppendRow(row)
+		y = append(y, rng.Float64())
+	}
+	tr := &RegressionTree{MaxDepth: 4, MinLeaf: 32}
+	tr.Fit(&X, y)
+	if a := testing.AllocsPerRun(10, func() { tr.Fit(&X, y) }); a != 0 {
+		t.Fatalf("steady-state tree refit allocates %.1f allocs/op, want 0", a)
+	}
+}

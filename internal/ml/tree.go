@@ -167,6 +167,12 @@ func (t *RegressionTree) Fit(X *Matrix, y []float64) {
 // fit grows the tree over the first n entries of s.idx. The caller has
 // sized s (ensure) and filled the permutation (fillIdx).
 func (t *RegressionTree) fit(X *Matrix, y []float64, s *fitScratch, n int) {
+	// A depth-d tree holds at most 2^(d+1)-1 nodes; sizing the array to
+	// that bound up front means no refit can ever grow it, keeping
+	// steady-state retrains strictly allocation-free.
+	if maxNodes := 1<<(t.MaxDepth+1) - 1; cap(t.nodes) < maxNodes {
+		t.nodes = make([]treeNode, 0, maxNodes)
+	}
 	t.nodes = t.nodes[:0]
 	t.grow(X, y, s, 0, n, 0)
 }
