@@ -10,9 +10,9 @@ GO ?= go
 # listed here so `make vet` covers it.
 VET_TAGS ?=
 
-.PHONY: check fmt-check vet lint build test test-race fuzz bench bench-kernels bench-figures load
+.PHONY: check fmt-check vet lint build test test-race examples docs-check fuzz bench bench-kernels bench-figures load
 
-check: fmt-check vet lint build test test-race
+check: fmt-check vet lint build test test-race examples docs-check
 
 # gofmt -s also demands the simplified forms (composite-literal elision,
 # range cleanups), not just canonical spacing.
@@ -42,6 +42,22 @@ test:
 
 test-race:
 	$(GO) test -race ./...
+
+# examples builds the five runnable programs under examples/ and runs
+# the Example* godoc functions (facade and internal/stats): their
+# // Output: blocks are the executable half of the documentation and
+# must stay green.
+examples:
+	$(GO) build ./examples/...
+	$(GO) test -run Example . ./internal/stats/
+
+# docs-check fails on broken intra-repo markdown links (docs_test.go) and
+# on internal/ packages missing a package comment (the scip-vet pkgdoc
+# analyzer, scoped here to internal/... for a fast signal; `make lint`
+# runs the full analyzer set).
+docs-check:
+	$(GO) test -run TestDocsLinks .
+	$(GO) run ./cmd/scip-vet ./internal/...
 
 # Short fuzz pass over the analysis fixture-comment parser.
 fuzz:

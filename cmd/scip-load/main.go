@@ -29,10 +29,8 @@ import (
 	"sync"
 	"time"
 
-	"github.com/scip-cache/scip/internal/cache"
-	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/gen"
-	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/server"
 	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
 	"github.com/scip-cache/scip/internal/stats"
@@ -40,30 +38,11 @@ import (
 )
 
 // buildSharded returns a sharded cache for one of the concurrency-ready
-// policies. Each shard gets its own single-threaded policy instance seeded
-// by its index.
+// policies — the same construction scip-serve uses (server.BuildSharded),
+// so a load run and a daemon with matching flags replay the identical
+// decision stream.
 func buildSharded(policy string, capBytes int64, shards int, seed int64) (*shard.Cache, error) {
-	var build shard.Builder
-	name := strings.ToUpper(policy)
-	switch name {
-	case "SCIP":
-		build = func(b int64, s int) cache.Policy {
-			return core.NewCache(b, core.WithSeed(seed+int64(s)))
-		}
-	case "SCI":
-		build = func(b int64, s int) cache.Policy {
-			return core.NewSCICache(b, core.WithSeed(seed+int64(s)))
-		}
-	case "LRU":
-		build = func(b int64, _ int) cache.Policy { return cache.NewLRU(b) }
-	case "LRB":
-		build = func(b int64, s int) cache.Policy {
-			return lrb.New(b, lrb.WithSeed(seed+int64(s)))
-		}
-	default:
-		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU or LRB)", policy)
-	}
-	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build)
+	return server.BuildSharded(policy, capBytes, shards, seed)
 }
 
 // runLoad replays tr against c from `workers` goroutines, each owning the

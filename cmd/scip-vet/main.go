@@ -9,7 +9,8 @@
 //
 //	scip-vet [packages]
 //
-// Packages default to ./... . Diagnostics print as
+// Packages default to ./...; a dir/... suffix selects a subtree
+// (e.g. ./internal/...). Diagnostics print as
 // file:line: analyzer: message; the exit status is 1 when any
 // diagnostic is reported and 2 when loading or type-checking fails.
 // Intentional exceptions are declared in the source with a

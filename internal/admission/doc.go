@@ -1,0 +1,7 @@
+// Package admission implements the cache admission algorithms the paper's
+// related-work section (§7) contrasts insertion policies against: 2Q
+// (Shasha & Johnson), TinyLFU (Einziger et al., as the W-TinyLFU cache),
+// and AdaptSize (Berger et al.). Admission policies decide whether an
+// object enters the cache at all, whereas insertion policies decide where
+// it enters; the `admission` experiment compares both families.
+package admission

@@ -2,6 +2,7 @@ package analysis
 
 import (
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -19,6 +20,11 @@ func TestFixtures(t *testing.T) {
 		{Maporder, "maporder"},
 		{Nocopy, "nocopy"},
 		{Atomicmix, "atomicmix"},
+		// pkgdoc is package-scoped, so its three states are three fixture
+		// packages instead of three files of one package.
+		{Pkgdoc, "pkgdoc/missing"},
+		{Pkgdoc, "pkgdoc/clean"},
+		{Pkgdoc, "pkgdoc/suppressed"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -53,6 +59,33 @@ func TestRepoIsClean(t *testing.T) {
 	}
 }
 
+// TestLoadPrefixPattern pins the "dir/..." expansion `make docs-check`
+// relies on: every package under the prefix and nothing outside it.
+func TestLoadPrefixPattern(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a module subtree")
+	}
+	l, err := NewLoader("..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := l.Load("./internal/...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; the ./internal/... expansion is broken", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		if !strings.Contains(pkg.Path, "/internal/") {
+			t.Errorf("pattern ./internal/... matched %s", pkg.Path)
+		}
+	}
+	if _, err := l.Load("./nonexistent/..."); err == nil {
+		t.Error("pattern matching no packages should be an error")
+	}
+}
+
 // TestApplies pins the detrand path scoping: deterministic-replay
 // packages are covered, the analysis framework itself is not.
 func TestApplies(t *testing.T) {
@@ -69,6 +102,8 @@ func TestApplies(t *testing.T) {
 		{Maporder, "github.com/scip-cache/scip/internal/analysis", true},
 		{Nocopy, "github.com/scip-cache/scip/cmd/scip-vet", true},
 		{Atomicmix, "github.com/scip-cache/scip/internal/shard", true},
+		{Pkgdoc, "github.com/scip-cache/scip/internal/server", true},
+		{Pkgdoc, "github.com/scip-cache/scip/cmd/scip-serve", false},
 	}
 	for _, c := range cases {
 		if got := Applies(c.analyzer, c.path); got != c.want {

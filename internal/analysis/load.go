@@ -95,7 +95,8 @@ func modulePath(gomod string) (string, error) {
 }
 
 // Load resolves the patterns (import paths relative to the module root;
-// "./..." or "..." expands to every package in the module) and returns
+// "./..." or "..." expands to every package in the module, and a
+// "dir/..." suffix expands to every package under dir) and returns
 // the matched packages, type-checked, sorted by import path.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	dirs := make(map[string]bool)
@@ -109,14 +110,24 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 			for _, d := range all {
 				dirs[d] = true
 			}
-		default:
-			rel := strings.TrimPrefix(pat, "./")
-			rel = strings.TrimPrefix(rel, l.ModulePath)
-			rel = strings.TrimPrefix(rel, "/")
-			if rel == "" {
-				rel = "."
+		case strings.HasSuffix(pat, "/..."):
+			base := filepath.Join(l.Root, l.relDir(strings.TrimSuffix(pat, "/...")))
+			all, err := l.moduleDirs()
+			if err != nil {
+				return nil, err
 			}
-			dirs[filepath.Join(l.Root, rel)] = true
+			matched := false
+			for _, d := range all {
+				if d == base || strings.HasPrefix(d, base+string(filepath.Separator)) {
+					dirs[d] = true
+					matched = true
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("analysis: pattern %s matched no packages", pat)
+			}
+		default:
+			dirs[filepath.Join(l.Root, l.relDir(pat))] = true
 		}
 	}
 	// Load in sorted directory order (not map order) so packages are
@@ -144,6 +155,18 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
 	return out, nil
+}
+
+// relDir normalises a package pattern ("./internal/cache", an import
+// path, or "") to a directory path relative to the module root.
+func (l *Loader) relDir(pat string) string {
+	rel := strings.TrimPrefix(pat, "./")
+	rel = strings.TrimPrefix(rel, l.ModulePath)
+	rel = strings.TrimPrefix(rel, "/")
+	if rel == "" {
+		rel = "."
+	}
+	return rel
 }
 
 // moduleDirs returns every directory under the root that contains

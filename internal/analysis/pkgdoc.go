@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Pkgdoc flags internal packages that carry no package doc comment.
+// Every internal package documents its role, key types and invariants in
+// a package comment (kept in a dedicated doc.go); a package without one
+// is invisible to godoc and to the next reader deciding where code
+// belongs. The check is package-level: one doc comment on any non-test
+// file satisfies it, and the diagnostic anchors at the package clause of
+// the lexically first file — the natural home for a doc.go.
+//
+// A deliberately undocumented package (none exist today) would declare
+// itself with //scip:pkgdoc-ok and a justification directly above the
+// package clause of its lexically first file.
+var Pkgdoc = &Analyzer{
+	Name:     "pkgdoc",
+	Doc:      "flag internal packages with no package doc comment",
+	Suppress: []string{"pkgdoc-ok"},
+	Run:      runPkgdoc,
+}
+
+func runPkgdoc(pass *Pass) {
+	var first *ast.File
+	var firstFile string
+	for _, f := range pass.Files {
+		if hasPackageDoc(f) {
+			return
+		}
+		name := pass.Fset.Position(f.Package).Filename
+		if first == nil || name < firstFile {
+			first, firstFile = f, name
+		}
+	}
+	if first == nil {
+		return
+	}
+	pass.Reportf(first.Package, "package %s has no package comment; document it in a doc.go", pass.Pkg.Name())
+}
+
+// hasPackageDoc reports whether f carries a real package doc comment. A
+// doc group consisting solely of //scip: directive lines is not
+// documentation: a //scip:pkgdoc-ok suppression directly above the
+// package clause parses as the file's Doc, and it must suppress the
+// diagnostic, not satisfy the check.
+func hasPackageDoc(f *ast.File) bool {
+	if f.Doc == nil {
+		return false
+	}
+	for _, c := range f.Doc.List {
+		text := strings.TrimPrefix(c.Text, "//")
+		text = strings.TrimPrefix(text, "/*")
+		if !strings.HasPrefix(strings.TrimSpace(text), suppressionPrefix) {
+			return true
+		}
+	}
+	return false
+}

@@ -4,7 +4,7 @@ import "strings"
 
 // Analyzers returns every registered analyzer in a stable order.
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Nocopy, Atomicmix}
+	return []*Analyzer{Detrand, Maporder, Nocopy, Atomicmix, Pkgdoc}
 }
 
 // DetrandPaths lists the import-path suffixes of the packages whose
@@ -28,15 +28,20 @@ var DetrandPaths = []string{
 // Applies reports whether analyzer a runs over the package at pkgPath.
 // Maporder, Nocopy and Atomicmix guard every package; Detrand is scoped
 // to the deterministic-replay packages (DetrandPaths), because drivers
-// and reporting code read wall clocks by design.
+// and reporting code read wall clocks by design; Pkgdoc is scoped to
+// internal/ packages — commands document themselves in their main file
+// and are checked by convention, not the analyzer.
 func Applies(a *Analyzer, pkgPath string) bool {
-	if a != Detrand {
-		return true
-	}
-	for _, suffix := range DetrandPaths {
-		if strings.HasSuffix(pkgPath, suffix) {
-			return true
+	switch a {
+	case Detrand:
+		for _, suffix := range DetrandPaths {
+			if strings.HasSuffix(pkgPath, suffix) {
+				return true
+			}
 		}
+		return false
+	case Pkgdoc:
+		return strings.Contains(pkgPath, "/internal/")
 	}
-	return false
+	return true
 }

@@ -1,0 +1,5 @@
+// Package clean demonstrates a documented package: one package comment
+// on any file satisfies the check for every file.
+package clean
+
+func aaa() int { return 1 }

@@ -1,0 +1,3 @@
+package missing // want "package missing has no package comment"
+
+func aaa() int { return 1 }

@@ -1,0 +1,6 @@
+package missing
+
+// zzz documents a function, which is not a package comment: the
+// diagnostic must anchor at the lexically first file (aaa.go), and only
+// there.
+func zzz() int { return aaa() }

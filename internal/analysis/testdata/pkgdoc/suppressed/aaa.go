@@ -1,0 +1,4 @@
+//scip:pkgdoc-ok fixture-only: demonstrates the pkgdoc-ok escape hatch
+package suppressed
+
+func aaa() int { return 1 }

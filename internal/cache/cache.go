@@ -1,9 +1,3 @@
-// Package cache provides the substrate shared by every caching policy in
-// this repository: the request model, an intrusive byte-accounted queue,
-// FIFO history (shadow) lists, and the interfaces the simulator drives.
-//
-// All capacities and object sizes are expressed in bytes, matching CDN
-// object caches where a single queue holds variable-sized objects.
 package cache
 
 // Request is a single object access in a trace.
@@ -38,6 +32,17 @@ type Policy interface {
 // empty state without reallocating (used by repeated benchmark runs).
 type Resetter interface {
 	Reset()
+}
+
+// Remover is implemented by policies that support external invalidation:
+// removing an object on command (a DELETE from a cache daemon) rather
+// than by capacity pressure. A removal is not an eviction — it does not
+// count toward EvictionCounter and is not reported to the insertion
+// policy's OnEvict, because the learning signals of Algorithm 1 are
+// about placement decisions, not operator actions.
+type Remover interface {
+	// Remove deletes key if cached and reports whether it was present.
+	Remove(key uint64) bool
 }
 
 // EvictionCounter is implemented by policies that track their cumulative

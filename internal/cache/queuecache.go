@@ -213,6 +213,23 @@ func (c *QueueCache) evictOne() {
 	c.free = victim
 }
 
+// Remove implements Remover: it drops key from the cache if present.
+// Unlike an eviction it leaves the insertion policy's learning state
+// untouched (no OnEvict, no history-list entry, no eviction count): an
+// invalidation says nothing about whether the placement decision was
+// good. A later access to the key is an ordinary miss.
+func (c *QueueCache) Remove(key uint64) bool {
+	e, ok := c.index[key]
+	if !ok {
+		return false
+	}
+	c.q.Remove(e)
+	delete(c.index, key)
+	e.next = c.free
+	c.free = e
+	return true
+}
+
 // Reset implements Resetter.
 func (c *QueueCache) Reset() {
 	c.q = Queue{}

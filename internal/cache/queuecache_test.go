@@ -296,3 +296,51 @@ func TestAccessAllocsWithInsertionPolicy(t *testing.T) {
 		t.Fatalf("policy-driven hit allocates %.1f allocs/op, want 0", a)
 	}
 }
+
+func TestRemove(t *testing.T) {
+	c := NewLRU(100)
+	c.Access(req(1, 1, 40))
+	c.Access(req(2, 2, 40))
+	if !c.Remove(1) {
+		t.Fatal("Remove of a resident key reported absent")
+	}
+	if c.Contains(1) {
+		t.Fatal("key still resident after Remove")
+	}
+	if c.Used() != 40 {
+		t.Fatalf("Used = %d after Remove, want 40", c.Used())
+	}
+	if c.Evictions() != 0 {
+		t.Fatalf("Remove counted as eviction: %d", c.Evictions())
+	}
+	if c.Remove(1) {
+		t.Fatal("second Remove reported present")
+	}
+	if c.Remove(99) {
+		t.Fatal("Remove of never-seen key reported present")
+	}
+	// A removed key is a fresh miss, then resident again.
+	if c.Access(req(3, 1, 40)) {
+		t.Fatal("removed key reported hit")
+	}
+	if !c.Access(req(4, 1, 40)) {
+		t.Fatal("re-inserted key missed")
+	}
+}
+
+// TestRemoveRecyclesEntry checks the freed entry returns to the free
+// list: capacity-many inserts after a Remove must not grow the arena
+// (observable as Used staying bounded and the queue staying consistent).
+func TestRemoveRecyclesEntry(t *testing.T) {
+	c := NewLRU(100)
+	for i := 0; i < 1000; i++ {
+		k := uint64(i % 3)
+		c.Access(req(int64(i), k, 30))
+		if i%7 == 0 {
+			c.Remove(k)
+		}
+		if c.Used() > c.Capacity() {
+			t.Fatalf("step %d: used %d > cap %d", i, c.Used(), c.Capacity())
+		}
+	}
+}

@@ -1,0 +1,39 @@
+// Package core implements the paper's contribution: SCIP, the smart cache
+// insertion and promotion policy (Algorithm 1 + Algorithm 2), and its
+// ablation SCI (Algorithm 3) which keeps the learned insertion policy but
+// always promotes hit objects to the MRU position.
+//
+// SCIP treats a hit object as a special missing object: both are
+// (re-)inserted through a bimodal insertion policy that selects the MRU or
+// LRU queue position with probabilities ω_m / ω_l. Two FIFO shadow lists
+// H_m and H_l record the metadata of evicted objects by the position at
+// which they entered the cache; a renewed miss on an object found in H_m
+// means MRU insertion was wasted on it (it behaved as a ZRO or P-ZRO), so
+// ω_m decays — and symmetrically for H_l. The decay strength λ is tuned
+// every learning interval by gradient-based stochastic hill climbing on
+// the interval hit rate (Algorithm 2).
+//
+// Three clarifications of the paper's pseudocode were required to obtain
+// the behaviour the paper reports (all ablatable via Options and measured
+// by the ablation benchmarks; see DESIGN.md §4):
+//
+//  1. Per-object adjustment (§3.2 prose): an object found in H_m is itself
+//     inserted at LRU, one found in H_l at MRU. The pseudocode's global
+//     ω update alone cannot express this.
+//  2. ZRO emergence evidence: ZROs never reappear, so they generate no
+//     history-list events at all; the only signal of their damage is an
+//     eviction of a never-hit, MRU-inserted object. Such evictions decay
+//     ω_m by evictGain × λ. This is the "relationship between performance
+//     changes and the emergence of ZROs" the abstract describes.
+//  3. Contextual weights: the miss population (ZRO-rich) and the hit
+//     population (hot-object-rich) need different MRU probabilities; a
+//     single shared ω demotes hot objects whenever ZRO pressure drives it
+//     down. SCIP therefore learns one ω pair per context (insertion and
+//     promotion) with identical update rules; WithUnifiedModel restores
+//     the literal single-pair reading for comparison.
+//
+// NewCache builds a SCIP cache, NewSCICache its always-promote ablation;
+// both return a cache.QueueCache wired to the learning Strategy, so they
+// compose with everything that speaks cache.Policy (the simulator, the
+// sharded front, the daemon).
+package core

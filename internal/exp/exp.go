@@ -1,8 +1,3 @@
-// Package exp is the experiment harness: one runner per table/figure of
-// the paper's evaluation, each regenerating the corresponding rows or
-// series on the synthetic workload profiles. The cmd/scip-bench binary
-// dispatches into this package; the repository-level benchmarks reuse the
-// same runners at reduced scale.
 package exp
 
 import (

@@ -1,0 +1,10 @@
+// Package gen produces synthetic CDN workloads that stand in for the
+// paper's proprietary traces (CDN-T from Tencent TDC, CDN-W from the LRB
+// Wikipedia trace, CDN-A from the Tencent photo store). Each generated
+// trace preserves the structural properties the SCIP experiments depend
+// on: Zipf-like popularity with temporal drift, heavy-tailed log-normal
+// object sizes, one-hit wonders (the source of ZROs) and short re-access
+// echoes of cold objects (the source of P-ZROs). The profiles scale the
+// Table-1 request and object counts down uniformly so the cache-size to
+// working-set ratios of the paper's experiments are preserved.
+package gen

@@ -1,0 +1,14 @@
+// Package lrb implements a faithful, laptop-scale reduction of Learning
+// Relaxed Belady (Song et al., NSDI'20): per-object features (inter-access
+// deltas, exponentially decayed counters, size, age) are maintained inside
+// a sliding memory window; training samples receive their labels — the
+// forward distance to the next access — when the object is next requested
+// (or the window expires them); a gradient-boosted regression forest
+// predicts time-to-next-access; and eviction removes the
+// furthest-predicted object from a random sample of cached candidates.
+//
+// The sampling/training/eviction hot path is allocation-free in steady
+// state: pending samples live in a growable flat arena linked by offsets,
+// feature vectors are filled into fixed scratch, the training matrix is a
+// flat ml.Matrix trimmed by copy, and the GBM refits in place.
+package lrb

@@ -1,0 +1,6 @@
+// Package mab implements the Multi-Armed-Bandit primitives SCIP is built
+// from: a two-expert weight vector with multiplicative decay updates
+// (the ω_m / ω_l probabilities of Algorithm 1) and the adaptive learning
+// rate of Algorithm 2 (gradient-based stochastic hill climbing with random
+// restarts).
+package mab

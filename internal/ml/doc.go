@@ -1,0 +1,7 @@
+// Package ml provides the from-scratch machine-learning models the paper
+// evaluates in Figure 4 (linear regression, logistic regression, linear
+// SVM, a fully connected neural network, gradient boosting, and a
+// multi-armed-bandit classifier) plus the regression trees and GBM used by
+// the LRB and GL-Cache substrates. Everything is stdlib-only and
+// deterministic given a seed.
+package ml

@@ -1,13 +1,3 @@
-// Package runner provides the concurrency substrate of the experiment
-// harness: a bounded worker pool that evaluates independent jobs and
-// returns their results in submission order, and a concurrency-safe
-// memoizing map with singleflight semantics.
-//
-// The pool makes no fairness or scheduling promises beyond determinism of
-// the *results*: jobs may execute in any order, but Map always returns the
-// result slice indexed exactly as submitted, so callers that format output
-// from the ordered slice produce byte-identical tables regardless of the
-// worker count.
 package runner
 
 import (

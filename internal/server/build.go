@@ -1,0 +1,42 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+	"github.com/scip-cache/scip/internal/lrb"
+	"github.com/scip-cache/scip/internal/shard"
+)
+
+// BuildSharded returns a sharded cache front for one of the
+// concurrency-ready policies (SCIP, SCI, LRU, LRB). Each shard gets its
+// own single-threaded policy instance seeded by seed + shard index, so a
+// given (policy, capacity, shards, seed) tuple always produces the same
+// decision stream — the property the scip-load and scip-serve
+// comparisons rest on. Both commands build their cache through this one
+// function.
+func BuildSharded(policy string, capBytes int64, shards int, seed int64) (*shard.Cache, error) {
+	var build shard.Builder
+	name := strings.ToUpper(policy)
+	switch name {
+	case "SCIP":
+		build = func(b int64, s int) cache.Policy {
+			return core.NewCache(b, core.WithSeed(seed+int64(s)))
+		}
+	case "SCI":
+		build = func(b int64, s int) cache.Policy {
+			return core.NewSCICache(b, core.WithSeed(seed+int64(s)))
+		}
+	case "LRU":
+		build = func(b int64, _ int) cache.Policy { return cache.NewLRU(b) }
+	case "LRB":
+		build = func(b int64, s int) cache.Policy {
+			return lrb.New(b, lrb.WithSeed(seed+int64(s)))
+		}
+	default:
+		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU or LRB)", policy)
+	}
+	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build)
+}

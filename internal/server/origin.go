@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Origin is the daemon's upstream: where object bodies come from on a
+// cache miss. size is the declared object size in bytes, or < 0 when the
+// request did not declare one; the returned objSize is the authoritative
+// size used for cache accounting. The returned body may be shorter than
+// objSize (origins cap generated or stored bodies), which affects only
+// the response payload, never the accounting.
+type Origin interface {
+	Fetch(ctx context.Context, key uint64, size int64) (body []byte, objSize int64, err error)
+}
+
+// SyntheticOrigin is a deterministic in-process origin: the body bytes
+// are a pure function of the key, so two fetches of the same object are
+// bit-identical and a "hit" body can always be reconstructed. It stands
+// in for a real upstream in tests, benchmarks and trace replay, the same
+// way the synthetic workload generators stand in for the paper's
+// proprietary traces.
+type SyntheticOrigin struct {
+	// Latency is an artificial per-fetch delay (0 = none), interruptible
+	// by the context.
+	Latency time.Duration
+	// MaxBody caps the generated body length in bytes (default 64 KiB).
+	// Accounting uses the declared object size regardless.
+	MaxBody int64
+}
+
+// syntheticMaxBodyDefault bounds generated bodies when MaxBody is unset:
+// big enough to exercise real payloads, small enough that replaying a
+// CDN trace over loopback is not a memory-bandwidth benchmark.
+const syntheticMaxBodyDefault = 64 << 10
+
+// Fetch implements Origin.
+func (o *SyntheticOrigin) Fetch(ctx context.Context, key uint64, size int64) ([]byte, int64, error) {
+	if o.Latency > 0 {
+		t := time.NewTimer(o.Latency)
+		defer t.Stop()
+		select {
+		case <-ctx.Done():
+			return nil, 0, ctx.Err()
+		case <-t.C:
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, 0, err
+	}
+	if size < 0 {
+		size = syntheticSize(key)
+	}
+	maxBody := o.MaxBody
+	if maxBody <= 0 {
+		maxBody = syntheticMaxBodyDefault
+	}
+	n := size
+	if n > maxBody {
+		n = maxBody
+	}
+	body := make([]byte, n)
+	x := key
+	for i := range body {
+		x = splitmix64(x)
+		body[i] = byte(x)
+	}
+	return body, size, nil
+}
+
+// syntheticSize derives a deterministic object size in [1 KiB, 64 KiB)
+// for requests that declare none.
+func syntheticSize(key uint64) int64 {
+	return 1<<10 + int64(splitmix64(key)%(63<<10))
+}
+
+// splitmix64 is the SplitMix64 mixing function — a bijective scramble,
+// so distinct keys yield distinct byte streams.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// HTTPOrigin fetches bodies from a real upstream with
+// GET {Base}/{key}. Timeouts, retries and backoff are applied by the
+// server around Fetch, not here, so every Origin implementation gets the
+// same resilience behaviour.
+type HTTPOrigin struct {
+	// Base is the upstream URL prefix; the decimal key is appended as a
+	// path element.
+	Base string
+	// Client is the HTTP client to use (default http.DefaultClient).
+	Client *http.Client
+}
+
+// Fetch implements Origin.
+func (o *HTTPOrigin) Fetch(ctx context.Context, key uint64, size int64) ([]byte, int64, error) {
+	client := o.Client
+	if client == nil {
+		client = http.DefaultClient
+	}
+	url := o.Base + "/" + strconv.FormatUint(key, 10)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return nil, 0, fmt.Errorf("origin %s: %s", url, resp.Status)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, 0, err
+	}
+	if size < 0 {
+		size = int64(len(body))
+	}
+	return body, size, nil
+}

@@ -1,0 +1,500 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/shard"
+	"github.com/scip-cache/scip/internal/stats"
+)
+
+// Config configures a Server. The zero value is not usable: CacheBytes
+// is required; everything else has a sensible default (see New).
+type Config struct {
+	// Policy selects the sharded cache policy: SCIP, SCI, LRU or LRB
+	// (default SCIP).
+	Policy string
+	// CacheBytes is the total byte capacity, split exactly across
+	// shards. Required.
+	CacheBytes int64
+	// Shards is the shard count, rounded up to a power of two
+	// (default 8).
+	Shards int
+	// Seed seeds the per-shard policies (shard i gets Seed+i).
+	Seed int64
+
+	// Origin supplies object bodies on a miss (default: a zero-latency
+	// SyntheticOrigin).
+	Origin Origin
+	// OriginTimeout bounds each origin fetch attempt (default 2s;
+	// negative disables the per-attempt timeout).
+	OriginTimeout time.Duration
+	// OriginRetries is the number of retry attempts after a failed
+	// fetch (default 2, so up to 3 attempts; negative means none).
+	OriginRetries int
+	// OriginBackoff is the delay before the first retry, doubling per
+	// attempt (default 50ms).
+	OriginBackoff time.Duration
+	// ServeStale serves a previously stored body (marked X-Cache: STALE)
+	// when every origin attempt fails, instead of a 502.
+	ServeStale bool
+
+	// MaxBodyBytes caps stored and accepted body lengths (default
+	// 1 MiB). Accounting always uses the declared object size.
+	MaxBodyBytes int64
+}
+
+// withDefaults returns cfg with unset fields defaulted.
+func (cfg Config) withDefaults() Config {
+	if cfg.Policy == "" {
+		cfg.Policy = "SCIP"
+	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = 8
+	}
+	if cfg.Origin == nil {
+		cfg.Origin = &SyntheticOrigin{}
+	}
+	if cfg.OriginTimeout == 0 {
+		cfg.OriginTimeout = 2 * time.Second
+	}
+	if cfg.OriginRetries == 0 {
+		cfg.OriginRetries = 2
+	}
+	if cfg.OriginRetries < 0 {
+		cfg.OriginRetries = 0
+	}
+	if cfg.OriginBackoff <= 0 {
+		cfg.OriginBackoff = 50 * time.Millisecond
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	return cfg
+}
+
+// Server is the scip-serve daemon: the sharded cache, its stats block,
+// the per-shard body stores and flight groups, and the serving-path
+// counters exported at /metrics.
+type Server struct {
+	cfg     Config
+	cache   *shard.Cache
+	st      *stats.Stats
+	flights []flightGroup
+	bodies  []*bodyStore
+	// clock assigns logical timestamps to requests that carry no t
+	// parameter; policies only rely on per-shard ordering, which a
+	// global counter preserves.
+	clock atomic.Int64
+	start time.Time
+
+	// Serving-path counters (see OPERATIONS.md for the catalogue).
+	inflight         atomic.Int64
+	originFetches    atomic.Int64
+	originErrors     atomic.Int64
+	originRetries    atomic.Int64
+	coalescedWaits   atomic.Int64
+	staleServes      atomic.Int64
+	bodyRefetches    atomic.Int64
+	responsesByClass [6]atomic.Int64 // index = status/100
+}
+
+// New validates cfg, builds the sharded cache with stats attached and
+// returns a ready Server.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheBytes <= 0 {
+		return nil, fmt.Errorf("server: CacheBytes must be positive, got %d", cfg.CacheBytes)
+	}
+	c, err := BuildSharded(cfg.Policy, cfg.CacheBytes, cfg.Shards, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("server: %w", err)
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   c,
+		st:      c.EnableStats(),
+		flights: make([]flightGroup, c.Shards()),
+		bodies:  make([]*bodyStore, c.Shards()),
+		start:   time.Now(),
+	}
+	// Mirror shard.New's exact byte split so each shard's body store is
+	// bounded by its shard's policy capacity.
+	base := cfg.CacheBytes / int64(c.Shards())
+	rem := cfg.CacheBytes % int64(c.Shards())
+	for i := range s.bodies {
+		per := base
+		if int64(i) < rem {
+			per++
+		}
+		s.bodies[i] = newBodyStore(per)
+	}
+	return s, nil
+}
+
+// Cache returns the sharded cache front.
+func (s *Server) Cache() *shard.Cache { return s.cache }
+
+// Stats returns the cache's stats block.
+func (s *Server) Stats() *stats.Stats { return s.st }
+
+// Handler returns the daemon's HTTP handler:
+//
+//	GET    /obj/{key}   serve the object (query: size, t)
+//	PUT    /obj/{key}   insert/refresh the object (body = content)
+//	DELETE /obj/{key}   invalidate the object
+//	GET    /metrics     Prometheus text exposition
+//	GET    /healthz     liveness probe
+//	GET    /statusz     human-readable status
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /obj/{key}", s.handleGet)
+	mux.HandleFunc("PUT /obj/{key}", s.handlePut)
+	mux.HandleFunc("DELETE /obj/{key}", s.handleDelete)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /statusz", s.handleStatusz)
+	return s.instrument(mux)
+}
+
+// instrument wraps the mux with in-flight tracking and response-class
+// counting.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		if class := rec.status / 100; class >= 1 && class <= 5 {
+			s.responsesByClass[class].Add(1)
+		}
+	})
+}
+
+// statusRecorder captures the response status for the class counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// reqMeta extracts key and the optional size/t query parameters.
+func reqMeta(r *http.Request) (key uint64, size int64, t int64, err error) {
+	key, err = strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("bad key: %w", err)
+	}
+	size = -1
+	if v := r.URL.Query().Get("size"); v != "" {
+		size, err = strconv.ParseInt(v, 10, 64)
+		if err != nil || size <= 0 {
+			return 0, 0, 0, fmt.Errorf("bad size %q", v)
+		}
+	}
+	t = -1
+	if v := r.URL.Query().Get("t"); v != "" {
+		t, err = strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return 0, 0, 0, fmt.Errorf("bad t %q", v)
+		}
+	}
+	return key, size, t, nil
+}
+
+// tick resolves a request's logical timestamp: the declared t, or the
+// next server-local tick.
+func (s *Server) tick(t int64) int64 {
+	if t >= 0 {
+		return t
+	}
+	return s.clock.Add(1)
+}
+
+// fetchOrigin performs one coalesced, retried origin fetch. The fetch
+// context is detached from the request context so a departing waiter
+// does not abort the flight for everyone else; each attempt is bounded
+// by OriginTimeout and retries back off exponentially from
+// OriginBackoff.
+func (s *Server) fetchOrigin(r *http.Request, shardIdx int, key uint64, size int64) flightResult {
+	ctx := context.WithoutCancel(r.Context())
+	res, shared := s.flights[shardIdx].do(key, func() flightResult {
+		var last flightResult
+		for attempt := 0; ; attempt++ {
+			actx, cancel := ctx, context.CancelFunc(func() {})
+			if s.cfg.OriginTimeout > 0 {
+				actx, cancel = context.WithTimeout(ctx, s.cfg.OriginTimeout)
+			}
+			s.originFetches.Add(1)
+			body, objSize, err := s.cfg.Origin.Fetch(actx, key, size)
+			cancel()
+			if err == nil {
+				return flightResult{body: body, size: objSize}
+			}
+			s.originErrors.Add(1)
+			last = flightResult{err: err}
+			if attempt >= s.cfg.OriginRetries {
+				return last
+			}
+			s.originRetries.Add(1)
+			backoff := s.cfg.OriginBackoff << attempt
+			t := time.NewTimer(backoff)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				last.err = ctx.Err()
+				return last
+			case <-t.C:
+			}
+		}
+	})
+	if shared {
+		s.coalescedWaits.Add(1)
+	}
+	return res
+}
+
+// serveBody writes an object response.
+func (s *Server) serveBody(w http.ResponseWriter, cacheState string, shardIdx int, objSize int64, body []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/octet-stream")
+	h.Set("X-Cache", cacheState)
+	h.Set("X-Cache-Shard", strconv.Itoa(shardIdx))
+	h.Set("X-Object-Size", strconv.FormatInt(objSize, 10))
+	h.Set("Content-Length", strconv.Itoa(len(body)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	key, size, t, err := reqMeta(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	shardIdx := s.cache.ShardIndex(key)
+
+	if size < 0 {
+		// Unknown size: the origin is the authority, so fetch first and
+		// account with the size it reports.
+		res := s.fetchOrigin(r, shardIdx, key, -1)
+		if res.err != nil {
+			s.finishWithError(w, shardIdx, key, res.err)
+			return
+		}
+		hit := s.access(key, res.size, s.tick(t))
+		s.bodies[shardIdx].put(key, res.body)
+		state := "MISS"
+		if hit {
+			state = "HIT"
+		}
+		s.serveBody(w, state, shardIdx, res.size, res.body)
+		return
+	}
+
+	hit := s.access(key, size, s.tick(t))
+	if hit {
+		if body, ok := s.bodies[shardIdx].get(key); ok {
+			s.serveBody(w, "HIT", shardIdx, size, body)
+			return
+		}
+		// The policy says resident but the body was displaced from the
+		// bounded body store: refetch without disturbing the accounting.
+		s.bodyRefetches.Add(1)
+	}
+	res := s.fetchOrigin(r, shardIdx, key, size)
+	if res.err != nil {
+		s.finishWithError(w, shardIdx, key, res.err)
+		return
+	}
+	s.bodies[shardIdx].put(key, res.body)
+	state := "MISS"
+	if hit {
+		state = "HIT"
+	}
+	s.serveBody(w, state, shardIdx, res.size, res.body)
+}
+
+// finishWithError ends a GET whose origin fetch failed: a stale body if
+// degradation is enabled and one survives, a 502 otherwise.
+func (s *Server) finishWithError(w http.ResponseWriter, shardIdx int, key uint64, err error) {
+	if s.cfg.ServeStale {
+		if body, ok := s.bodies[shardIdx].get(key); ok {
+			s.staleServes.Add(1)
+			s.serveBody(w, "STALE", shardIdx, int64(len(body)), body)
+			return
+		}
+	}
+	http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
+}
+
+// access performs the one policy access of an object request under the
+// shard lock, timing it into the stats block via shard.Cache.
+func (s *Server) access(key uint64, size, t int64) bool {
+	return s.cache.Access(cache.Request{Time: t, Key: key, Size: size})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	key, size, t, err := reqMeta(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	if size < 0 {
+		size = int64(len(body))
+	}
+	if size <= 0 {
+		http.Error(w, "empty object: declare ?size= or send a body", http.StatusBadRequest)
+		return
+	}
+	shardIdx := s.cache.ShardIndex(key)
+	hit := s.access(key, size, s.tick(t))
+	if len(body) > 0 {
+		s.bodies[shardIdx].put(key, body)
+	}
+	h := w.Header()
+	h.Set("X-Cache-Shard", strconv.Itoa(shardIdx))
+	if hit {
+		h.Set("X-Cache", "HIT")
+	} else {
+		h.Set("X-Cache", "MISS")
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	key, _, _, err := reqMeta(r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	shardIdx := s.cache.ShardIndex(key)
+	removed, supported := s.cache.Remove(key)
+	hadBody := s.bodies[shardIdx].delete(key)
+	if !supported {
+		http.Error(w, fmt.Sprintf("policy %s does not support invalidation", s.cache.Name()),
+			http.StatusNotImplemented)
+		return
+	}
+	if !removed && !hadBody {
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := stats.WritePrometheus(w, s.st.Snapshot(), "scip"); err != nil {
+		return
+	}
+	s.writeServerMetrics(w)
+}
+
+// writeServerMetrics appends the serving-path series to the exposition.
+func (s *Server) writeServerMetrics(w io.Writer) {
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(w, "# HELP scip_server_%s %s\n# TYPE scip_server_%s counter\nscip_server_%s %d\n",
+			name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(w, "# HELP scip_server_%s %s\n# TYPE scip_server_%s gauge\nscip_server_%s %s\n",
+			name, help, name, name, v)
+	}
+	counter("origin_fetches_total", "Origin fetch attempts.", s.originFetches.Load())
+	counter("origin_errors_total", "Failed origin fetch attempts.", s.originErrors.Load())
+	counter("origin_retries_total", "Origin fetch retries.", s.originRetries.Load())
+	counter("coalesced_requests_total", "Requests that joined an in-flight origin fetch.", s.coalescedWaits.Load())
+	counter("stale_serves_total", "Responses served from a stale body after origin failure.", s.staleServes.Load())
+	counter("body_refetches_total", "Policy hits whose body needed an origin refetch.", s.bodyRefetches.Load())
+	fmt.Fprintf(w, "# HELP scip_server_http_responses_total HTTP responses by status class.\n")
+	fmt.Fprintf(w, "# TYPE scip_server_http_responses_total counter\n")
+	for class := 1; class <= 5; class++ {
+		fmt.Fprintf(w, "scip_server_http_responses_total{class=\"%dxx\"} %d\n",
+			class, s.responsesByClass[class].Load())
+	}
+	gauge("inflight_requests", "Requests currently being served.", strconv.FormatInt(s.inflight.Load(), 10))
+	gauge("uptime_seconds", "Seconds since the daemon started.",
+		strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
+}
+
+func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	snap := s.st.Snapshot()
+	tot := snap.Totals()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "scip-serve: %s\n", s.cache.Name())
+	fmt.Fprintf(w, "uptime:     %s\n", time.Since(s.start).Round(time.Second))
+	fmt.Fprintf(w, "capacity:   %.1f MiB across %d shards\n",
+		float64(s.cfg.CacheBytes)/(1<<20), s.cache.Shards())
+	fmt.Fprintf(w, "used:       %.1f MiB (occupancy skew %.3f)\n",
+		float64(tot.UsedBytes)/(1<<20), snap.OccupancySkew())
+	fmt.Fprintf(w, "requests:   %d (%d hits, miss %.4f, byteMiss %.4f)\n",
+		tot.Requests, tot.Hits, snap.MissRatio(), snap.ByteMissRatio())
+	fmt.Fprintf(w, "evictions:  %d\n", tot.Evictions)
+	fmt.Fprintf(w, "latency:    p50=%s p99=%s\n",
+		snap.LatencyQuantile(0.50).Round(time.Nanosecond),
+		snap.LatencyQuantile(0.99).Round(time.Nanosecond))
+	fmt.Fprintf(w, "origin:     %d fetches, %d errors, %d retries, %d coalesced, %d stale, %d refetches\n",
+		s.originFetches.Load(), s.originErrors.Load(), s.originRetries.Load(),
+		s.coalescedWaits.Load(), s.staleServes.Load(), s.bodyRefetches.Load())
+	fmt.Fprintf(w, "inflight:   %d (goroutines %d)\n", s.inflight.Load(), runtime.NumGoroutine())
+}
+
+// Serve accepts connections on l until ctx is cancelled, then shuts
+// down gracefully: the listener closes immediately, in-flight requests
+// drain for up to the drain timeout (0 = wait indefinitely), and only
+// then does Serve return. It returns nil after a clean drain.
+func (s *Server) Serve(ctx context.Context, l net.Listener, drain time.Duration) error {
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(l) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := hs.Shutdown(sctx)
+	if serveErr := <-errc; !errors.Is(serveErr, http.ErrServerClosed) {
+		return serveErr
+	}
+	return err
+}
+
+// ListenAndServe resolves addr and calls Serve. ready, when non-nil,
+// receives the bound address once the listener is up (tests and callers
+// binding port 0 use it).
+func (s *Server) ListenAndServe(ctx context.Context, addr string, drain time.Duration, ready chan<- net.Addr) error {
+	l, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	if ready != nil {
+		ready <- l.Addr()
+	}
+	return s.Serve(ctx, l, drain)
+}

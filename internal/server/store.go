@@ -1,0 +1,110 @@
+package server
+
+import "sync"
+
+// bodyEntry is one stored object body on the store's intrusive LRU list.
+type bodyEntry struct {
+	key        uint64
+	body       []byte
+	prev, next *bodyEntry
+}
+
+// bodyStore is a byte-bounded LRU store for object bodies, one per
+// shard. It is intentionally independent of the policy cache: the policy
+// decides hit/miss (the accounting truth), the store merely keeps bytes
+// around to serve. The two can disagree — a policy hit whose body was
+// displaced triggers an origin refetch, and a displaced policy entry
+// whose body survives is what serve-stale degradation serves — and both
+// disagreements are counted, not hidden (see the scip_server_* metrics).
+type bodyStore struct {
+	mu         sync.Mutex
+	capBytes   int64
+	used       int64
+	m          map[uint64]*bodyEntry
+	head, tail *bodyEntry // head = most recent
+}
+
+func newBodyStore(capBytes int64) *bodyStore {
+	return &bodyStore{capBytes: capBytes, m: make(map[uint64]*bodyEntry)}
+}
+
+// get returns the stored body and refreshes its recency.
+func (s *bodyStore) get(key uint64) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return nil, false
+	}
+	s.unlink(e)
+	s.pushFront(e)
+	return e.body, true
+}
+
+// put stores body under key, displacing least-recently-used bodies while
+// over capacity. Bodies larger than the store are not kept.
+func (s *bodyStore) put(key uint64, body []byte) {
+	n := int64(len(body))
+	if n > s.capBytes {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.m[key]; ok {
+		s.used += n - int64(len(e.body))
+		e.body = body
+		s.unlink(e)
+		s.pushFront(e)
+	} else {
+		e := &bodyEntry{key: key, body: body}
+		s.m[key] = e
+		s.pushFront(e)
+		s.used += n
+	}
+	for s.used > s.capBytes && s.tail != nil {
+		victim := s.tail
+		s.unlink(victim)
+		delete(s.m, victim.key)
+		s.used -= int64(len(victim.body))
+	}
+}
+
+// delete removes key's body and reports whether one was stored.
+func (s *bodyStore) delete(key uint64) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.m[key]
+	if !ok {
+		return false
+	}
+	s.unlink(e)
+	delete(s.m, key)
+	s.used -= int64(len(e.body))
+	return true
+}
+
+func (s *bodyStore) pushFront(e *bodyEntry) {
+	e.prev = nil
+	e.next = s.head
+	if s.head != nil {
+		s.head.prev = e
+	}
+	s.head = e
+	if s.tail == nil {
+		s.tail = e
+	}
+}
+
+func (s *bodyStore) unlink(e *bodyEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		s.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		s.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

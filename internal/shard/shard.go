@@ -1,15 +1,3 @@
-// Package shard provides a concurrent cache front: requests are hash-
-// partitioned across N independent shards, each holding its own policy
-// instance (SCIP-LRU, LRB, ...) behind its own mutex. This mirrors how
-// production CDN nodes parallelise a single logical cache — TDC's
-// prototype runs a multi-ccd/multi-smcd process model — while keeping
-// every policy implementation single-threaded and simple.
-//
-// Sharding by key hash preserves per-object decisions exactly (an object
-// always lands on the same shard) and divides the byte budget evenly;
-// recency interleaving across shards is the standard approximation and
-// costs well under a point of miss ratio at 2^4..2^8 shards for CDN-scale
-// object counts (see the package tests).
 package shard
 
 import (
@@ -152,6 +140,27 @@ func (c *Cache) Access(req cache.Request) bool {
 	s.mu.Unlock()
 	c.st.ObserveAccess(idx, req.Size, hit, used, ev, time.Since(start))
 	return hit
+}
+
+// Remove invalidates key on its shard. It reports whether the key was
+// resident and whether the shard policy supports removal at all
+// (cache.Remover); policies without removal support — LRB's sampled
+// eviction has no per-key index delete — return supported == false and
+// leave the cache untouched. Safe for concurrent use.
+func (c *Cache) Remove(key uint64) (removed, supported bool) {
+	idx := c.ShardIndex(key)
+	s := &c.shards[idx]
+	s.mu.Lock()
+	r, supported := s.p.(cache.Remover)
+	if supported {
+		removed = r.Remove(key)
+	}
+	used := s.p.Used()
+	s.mu.Unlock()
+	if removed && c.st != nil {
+		c.st.Shard(idx).UsedBytes.Store(used)
+	}
+	return removed, supported
 }
 
 // Used implements cache.Policy (a racy-but-consistent-enough aggregate;

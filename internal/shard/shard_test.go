@@ -338,3 +338,65 @@ func BenchmarkUnshardedSerialAccess(b *testing.B) {
 		p.Access(cache.Request{Time: int64(i), Key: uint64(i % 4096), Size: 512})
 	}
 }
+
+// TestRemove checks invalidation routing: Remove deletes the key from
+// the shard it routes to, updates the occupancy gauge, and is not
+// counted as an eviction (operator invalidation is not a placement
+// signal).
+func TestRemove(t *testing.T) {
+	c, err := New("x", 1<<20, 4, lruBuilder)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.EnableStats()
+	c.Access(cache.Request{Time: 1, Key: 1, Size: 100})
+	c.Access(cache.Request{Time: 2, Key: 2, Size: 50})
+
+	removed, supported := c.Remove(1)
+	if !supported || !removed {
+		t.Fatalf("Remove(1) = %v, %v; want removed and supported", removed, supported)
+	}
+	if c.Used() != 50 {
+		t.Fatalf("Used = %d after Remove, want 50", c.Used())
+	}
+	idx := c.ShardIndex(1)
+	if got := st.Snapshot().Shards[idx].UsedBytes; got != c.shards[idx].p.Used() {
+		t.Fatalf("shard %d UsedBytes gauge %d stale after Remove", idx, got)
+	}
+	if got := st.Snapshot().Totals().Evictions; got != 0 {
+		t.Fatalf("Remove counted as eviction: %d", got)
+	}
+	if removed, _ := c.Remove(1); removed {
+		t.Fatal("second Remove reported present")
+	}
+	if c.Access(cache.Request{Time: 3, Key: 1, Size: 100}) {
+		t.Fatal("removed key reported hit")
+	}
+}
+
+// TestRemoveUnsupported: a policy without cache.Remover support reports
+// supported=false and stays untouched. SCIP/SCI/LRU are all
+// QueueCache-backed and removable; a bare non-Remover policy stands in
+// for LRB here to keep the shard tests free of the lrb import.
+func TestRemoveUnsupported(t *testing.T) {
+	c, err := New("fixed", 1<<20, 2, func(b int64, _ int) cache.Policy {
+		return noRemovePolicy{cache.NewLRU(b)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Access(cache.Request{Time: 1, Key: 1, Size: 100})
+	used := c.Used()
+	if _, supported := c.Remove(1); supported {
+		t.Fatal("non-Remover policy reported Remove support")
+	}
+	if c.Used() != used {
+		t.Fatal("unsupported Remove changed occupancy")
+	}
+}
+
+// noRemovePolicy hides the embedded QueueCache's Remove so the wrapper
+// does not satisfy cache.Remover.
+type noRemovePolicy struct{ *cache.QueueCache }
+
+func (noRemovePolicy) Remove() {}

@@ -1,0 +1,10 @@
+// Package sim replays traces against cache policies and collects the
+// metrics the paper reports: object and byte miss ratios, interval series,
+// and resource measurements (throughput, peak heap, CPU time proxy) used
+// by Figures 9 and 11.
+//
+// Run replays one trace against one policy; the Load* helpers
+// (BuildLoadReport, FormatLoadInterval, FormatShardOccupancy) format the
+// concurrent harness's interval and final reports, shared by scip-load
+// and scip-serve so their log lines align.
+package sim

@@ -1,7 +1,3 @@
-// Package sim replays traces against cache policies and collects the
-// metrics the paper reports: object and byte miss ratios, interval series,
-// and resource measurements (throughput, peak heap, CPU time proxy) used
-// by Figures 9 and 11.
 package sim
 
 import (

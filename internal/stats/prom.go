@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// This file renders a Snapshot in the Prometheus text exposition format
+// (version 0.0.4): one family per counter with # HELP / # TYPE headers,
+// per-shard series labelled shard="i", and the access-latency histogram
+// with cumulative buckets, _sum and _count. The output is deterministic
+// (families in a fixed order, shards in index order) so tests can pin it
+// and scrapes diff cleanly.
+
+// promFamily describes one per-shard counter family.
+type promFamily struct {
+	name string
+	typ  string // "counter" or "gauge"
+	help string
+	get  func(ShardSnapshot) int64
+}
+
+// promFamilies lists the exported per-shard series, in exposition order.
+// OPERATIONS.md carries the operator-facing catalogue; keep the two in
+// sync.
+var promFamilies = []promFamily{
+	{"requests_total", "counter", "Accesses routed to the shard.",
+		func(c ShardSnapshot) int64 { return c.Requests }},
+	{"hits_total", "counter", "Accesses served from cache.",
+		func(c ShardSnapshot) int64 { return c.Hits }},
+	{"bytes_requested_total", "counter", "Sum of requested object sizes in bytes.",
+		func(c ShardSnapshot) int64 { return c.BytesRequested }},
+	{"bytes_hit_total", "counter", "Sum of cache-served object sizes in bytes.",
+		func(c ShardSnapshot) int64 { return c.BytesHit }},
+	{"evictions_total", "counter", "Objects evicted by the shard policy.",
+		func(c ShardSnapshot) int64 { return c.Evictions }},
+	{"used_bytes", "gauge", "Last observed shard occupancy in bytes.",
+		func(c ShardSnapshot) int64 { return c.UsedBytes }},
+}
+
+// WritePrometheus renders snap in the Prometheus text exposition format
+// under the given metric namespace (e.g. "scip" yields
+// scip_requests_total{shard="0"} series and a scip_access_latency_seconds
+// histogram). It returns the first write error.
+func WritePrometheus(w io.Writer, snap Snapshot, namespace string) error {
+	ew := &errWriter{w: w}
+	for _, fam := range promFamilies {
+		full := namespace + "_" + fam.name
+		fmt.Fprintf(ew, "# HELP %s %s\n", full, fam.help)
+		fmt.Fprintf(ew, "# TYPE %s %s\n", full, fam.typ)
+		for i, c := range snap.Shards {
+			fmt.Fprintf(ew, "%s{shard=\"%d\"} %d\n", full, i, fam.get(c))
+		}
+	}
+
+	hist := namespace + "_access_latency_seconds"
+	fmt.Fprintf(ew, "# HELP %s Cache access latency (policy decision under the shard lock).\n", hist)
+	fmt.Fprintf(ew, "# TYPE %s histogram\n", hist)
+	var cum int64
+	for b, n := range snap.Latency {
+		cum += n
+		le := strconv.FormatFloat(LatencyBucketBound(b).Seconds(), 'g', -1, 64)
+		fmt.Fprintf(ew, "%s_bucket{le=\"%s\"} %d\n", hist, le, cum)
+	}
+	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", hist, cum)
+	sum := strconv.FormatFloat(float64(snap.LatencySumNanos)/1e9, 'g', -1, 64)
+	fmt.Fprintf(ew, "%s_sum %s\n", hist, sum)
+	fmt.Fprintf(ew, "%s_count %d\n", hist, cum)
+	return ew.err
+}
+
+// errWriter latches the first error so the renderer needs no per-line
+// error plumbing.
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) Write(p []byte) (int, error) {
+	if e.err != nil {
+		return 0, e.err
+	}
+	n, err := e.w.Write(p)
+	e.err = err
+	return n, err
+}

@@ -1,15 +1,3 @@
-// Package stats provides lock-free runtime observability for the
-// concurrent cache front: per-shard atomic counters (requests, hits, byte
-// traffic, evictions, used bytes) and a fixed-bucket access-latency
-// histogram. Writers touch only their own shard's cache-line-padded
-// counter block plus the shared histogram (atomic adds, no locks), so the
-// instrumentation scales with the shard count; Snapshot() reads everything
-// with atomic loads and never blocks the serving path.
-//
-// Counter semantics: Requests/Hits/BytesRequested/BytesHit/Evictions are
-// monotonically increasing totals, so interval rates are computed by
-// differencing two snapshots (Snapshot.Sub). UsedBytes is a gauge holding
-// the most recently observed occupancy.
 package stats
 
 import (
@@ -75,15 +63,26 @@ func bucketBound(b int) time.Duration {
 	return time.Duration(uint64(1) << (histMinShift + uint(b)))
 }
 
+// LatencyBucketBound returns the upper latency bound of histogram bucket
+// b (exclusive for observation, rendered as the inclusive `le` bound in
+// the Prometheus exposition; the ≤-vs-< distinction only matters for
+// samples landing exactly on a power-of-two nanosecond count). The last
+// bucket is a catch-all whose nominal bound is ~17 s.
+func LatencyBucketBound(b int) time.Duration { return bucketBound(b) }
+
 // Histogram is a fixed-bucket, power-of-two latency histogram safe for
 // concurrent Observe calls.
 type Histogram struct {
 	buckets [NumLatencyBuckets]atomic.Int64
+	// sum accumulates observed nanoseconds so the Prometheus exposition
+	// can publish the conventional _sum series alongside the buckets.
+	sum atomic.Int64
 }
 
 // Observe records one latency sample.
 func (h *Histogram) Observe(d time.Duration) {
 	h.buckets[bucketFor(d)].Add(1)
+	h.sum.Add(d.Nanoseconds())
 }
 
 // Stats aggregates per-shard counters and the shared latency histogram
@@ -140,6 +139,7 @@ func (s *Stats) Reset() {
 	for i := range s.lat.buckets {
 		s.lat.buckets[i].Store(0)
 	}
+	s.lat.sum.Store(0)
 }
 
 // ShardSnapshot is a plain-value copy of one shard's counters.
@@ -159,6 +159,9 @@ type ShardSnapshot struct {
 type Snapshot struct {
 	Shards  []ShardSnapshot          `json:"shards"`
 	Latency [NumLatencyBuckets]int64 `json:"-"`
+	// LatencySumNanos is the sum of all observed latencies in
+	// nanoseconds (the Prometheus histogram _sum series).
+	LatencySumNanos int64 `json:"-"`
 }
 
 // Snapshot copies the current counter values without blocking writers.
@@ -178,6 +181,7 @@ func (s *Stats) Snapshot() Snapshot {
 	for i := range s.lat.buckets {
 		snap.Latency[i] = s.lat.buckets[i].Load()
 	}
+	snap.LatencySumNanos = s.lat.sum.Load()
 	return snap
 }
 
@@ -207,6 +211,7 @@ func (snap Snapshot) Sub(prev Snapshot) Snapshot {
 			d.Latency[i] -= prev.Latency[i]
 		}
 	}
+	d.LatencySumNanos = snap.LatencySumNanos - prev.LatencySumNanos
 	return d
 }
 

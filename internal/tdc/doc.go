@@ -1,0 +1,10 @@
+// Package tdc models Tencent's TDC image-CDN hierarchy (Figure 2 of the
+// paper): clients hit the outside cache (OC) layer, OC misses fall
+// through to the data-center cache (DC) layer, and DC misses "back to the
+// original source" (BTO) — the storage system COS. The simulation
+// replays a request timeline, switches the cache layers' insertion policy
+// to SCIP at a configurable deployment time (the layers themselves keep
+// their LRU victim selection, exactly like the production rollout), and
+// reports the Figure-6 series: BTO traffic, BTO ratio and mean user
+// access latency per time bucket.
+package tdc

@@ -1,0 +1,10 @@
+// Package trace defines the on-disk trace formats and summary statistics
+// used by the simulator. A trace is an ordered sequence of cache.Request
+// records. Two codecs are provided: a human-readable CSV ("time,key,size"
+// per line, the format used by the LRB simulator) and a compact binary
+// varint format for large synthetic traces.
+//
+// ParseBytes parses human-readable byte sizes ("256MiB") for CLI flags,
+// and Summary computes the per-trace statistics the generators validate
+// against.
+package trace

@@ -1,8 +1,3 @@
-// Package trace defines the on-disk trace formats and summary statistics
-// used by the simulator. A trace is an ordered sequence of cache.Request
-// records. Two codecs are provided: a human-readable CSV ("time,key,size"
-// per line, the format used by the LRB simulator) and a compact binary
-// varint format for large synthetic traces.
 package trace
 
 import (

@@ -1,19 +1,3 @@
-// Package zro labels zero-reuse objects (ZROs) and promotion-ZROs
-// (P-ZROs) in a trace replayed under LRU, reproducing the analyses behind
-// the paper's Figures 1 and 3 and supplying the labelled datasets Figure 4
-// trains its classifiers on.
-//
-// Definitions (relative to a replay):
-//   - A ZRO occurrence is a miss insertion whose residency ends (eviction)
-//     without a single hit.
-//   - An A-ZRO is a ZRO occurrence whose object is hit in the cache at
-//     some later time (the ZRO property is not a fixed attribute).
-//   - A P-ZRO occurrence is a hit (promotion) that is never followed by
-//     another hit before the object is evicted.
-//   - An A-P-ZRO is a P-ZRO occurrence whose object is hit again later.
-//
-// Occurrences whose residency has not ended when the trace ends are left
-// unresolved and excluded from numerators and denominators.
 package zro
 
 import (
