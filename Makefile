@@ -10,7 +10,7 @@ GO ?= go
 # listed here so `make vet` covers it.
 VET_TAGS ?=
 
-.PHONY: check fmt-check vet lint build test test-race examples docs-check fuzz bench bench-kernels bench-figures load
+.PHONY: check fmt-check vet lint build test test-race examples docs-check fuzz bench bench-kernels bench-figures bench-scale load
 
 check: fmt-check vet lint build test test-race examples docs-check
 
@@ -77,8 +77,21 @@ bench-kernels:
 		-benchtime $(BENCHTIME) -benchmem .
 
 # Full figure regeneration with per-figure timings in BENCH.json.
+# scip-bench merges into the file, so the scale_matrix section written by
+# bench-scale survives a figure rerun (and vice versa).
 bench-figures:
 	$(GO) run ./cmd/scip-bench -scale 0.01 -seeds 2 -json BENCH.json all
+
+# The workers x GOMAXPROCS x concurrency-mode throughput matrix
+# (EXPERIMENTS.md "Scaling"): one replay per (gomaxprocs, workers,
+# mutex/batched/actor) cell, cross-checked for identical miss ratios and
+# merged into BENCH.json as scale_matrix. SCALE=0.002 keeps the default
+# run short; raise it for stable numbers, e.g. `make bench-scale
+# SCALE=0.01`.
+SCALE ?= 0.002
+BENCHJSON ?= BENCH.json
+bench-scale:
+	$(GO) run ./cmd/scip-load -scale $(SCALE) -shards 8 -batch 64 -scalebench $(BENCHJSON)
 
 # Concurrent load run with the race detector enabled: replays a synthetic
 # CDN-T trace across GOMAXPROCS workers against the sharded SCIP front,

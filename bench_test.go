@@ -308,30 +308,94 @@ func BenchmarkLRBAccessTrained(b *testing.B) {
 
 // BenchmarkShardedAccessStats measures the cost of the per-access stats
 // instrumentation on the sharded front: the same parallel access pattern
-// with the lock-free counters + latency histogram attached vs bare.
+// bare, with the lock-free counters attached (the access path itself is
+// clock-free since the counters-only ObserveAccess), and with a
+// driver-side latency ticker adding its one clock read per request — the
+// three instrumentation levels a scip-load run can choose between.
 func BenchmarkShardedAccessStats(b *testing.B) {
-	for _, withStats := range []bool{false, true} {
-		name := "bare"
-		if withStats {
-			name = "instrumented"
-		}
-		b.Run(name, func(b *testing.B) {
+	for _, variant := range []string{"bare", "counters", "counters+ticker"} {
+		b.Run(variant, func(b *testing.B) {
 			c, err := shard.New("scip", 1<<24, 16, func(capBytes int64, s int) cache.Policy {
 				return core.NewCache(capBytes, core.WithSeed(int64(s)+1), core.WithInterval(2000))
 			})
 			if err != nil {
 				b.Fatal(err)
 			}
-			if withStats {
-				c.EnableStats()
+			var lat *stats.Histogram
+			if variant != "bare" {
+				st := c.EnableStats()
+				if variant == "counters+ticker" {
+					lat = st.Latency()
+				}
 			}
 			var ctr atomic.Uint64
 			b.RunParallel(func(pb *testing.PB) {
+				tick := stats.NewLatencyTicker(lat) // nil lat: no-op, no clock reads
+				tick.Start()
 				for pb.Next() {
 					i := ctr.Add(1)
 					c.Access(cache.Request{Time: int64(i), Key: i % 4096, Size: 512})
+					tick.Tick()
 				}
 			})
+		})
+	}
+}
+
+// BenchmarkShardedAccessModes compares the three concurrency
+// configurations of DESIGN.md §10 on one parallel access pattern:
+// per-request mutex locking, mutex locking amortised over 64-request
+// same-shard batches, and the goroutine-per-shard actor path fed the
+// same batches. Decisions and counters are identical in all three
+// (TestModeInvariance); only the synchronisation cost differs.
+func BenchmarkShardedAccessModes(b *testing.B) {
+	const batch = 64
+	for _, m := range []struct {
+		name  string
+		mode  shard.Mode
+		batch int
+	}{
+		{"mutex", shard.ModeMutex, 1},
+		{"batched", shard.ModeMutex, batch},
+		{"actor", shard.ModeActor, batch},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			c, err := shard.New("scip", 1<<24, 16, func(capBytes int64, s int) cache.Policy {
+				return core.NewCache(capBytes, core.WithSeed(int64(s)+1), core.WithInterval(2000))
+			}, shard.WithMode(m.mode))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c.EnableStats()
+			defer c.Close()
+			var ctr atomic.Uint64
+			b.RunParallel(func(pb *testing.PB) {
+				if m.batch <= 1 {
+					for pb.Next() {
+						i := ctr.Add(1)
+						c.Access(cache.Request{Time: int64(i), Key: i % 4096, Size: 512})
+					}
+					return
+				}
+				// One pending batch per shard, as the replay drivers do.
+				bufs := make([][]cache.Request, c.Shards())
+				for pb.Next() {
+					i := ctr.Add(1)
+					req := cache.Request{Time: int64(i), Key: i % 4096, Size: 512}
+					s := c.ShardIndex(req.Key)
+					bufs[s] = append(bufs[s], req)
+					if len(bufs[s]) == m.batch {
+						c.AccessBatch(s, bufs[s], nil)
+						bufs[s] = bufs[s][:0]
+					}
+				}
+				for s, buf := range bufs {
+					if len(buf) > 0 {
+						c.AccessBatch(s, buf, nil)
+					}
+				}
+			})
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds()/1e6, "Mreq/s")
 		})
 	}
 }
@@ -341,7 +405,8 @@ func BenchmarkShardedAccessStats(b *testing.B) {
 func BenchmarkStatsSnapshot(b *testing.B) {
 	st := stats.New(64)
 	for i := 0; i < 64; i++ {
-		st.ObserveAccess(i, 512, i%2 == 0, 1<<20, int64(i), time.Microsecond)
+		st.ObserveAccess(i, 512, i%2 == 0, 1<<20, int64(i))
+		st.Latency().Observe(time.Microsecond)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()

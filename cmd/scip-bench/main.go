@@ -133,7 +133,10 @@ func main() {
 	}
 	report.TotalSeconds = time.Since(total).Seconds()
 	if *jsonPath != "" {
-		if err := sim.WriteJSON(*jsonPath, report); err != nil {
+		// Merge rather than overwrite: BENCH.json also carries the
+		// scale_matrix section of `make bench-scale`, which a figure
+		// rerun must not clobber (and vice versa).
+		if err := sim.MergeJSON(*jsonPath, report); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

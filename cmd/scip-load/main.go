@@ -9,7 +9,9 @@
 //
 //	scip-load [-profile CDN-T] [-scale 0.01] [-seed 1] [-trace file] [-csv|-lrb]
 //	    [-policy SCIP] [-cache 655MiB] [-shards 8] [-workers N] [-repeat 1]
-//	    [-interval 1s] [-json LOAD.json] [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//	    [-mode mutex|actor] [-batch N] [-depth N] [-nolat]
+//	    [-interval 1s] [-json LOAD.json] [-scalebench BENCH.json]
+//	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The trace is partitioned by shard, not by request index: every shard's
 // request subsequence is replayed in trace order by exactly one worker, so
@@ -17,6 +19,15 @@
 // worker count and the final miss ratios are byte-identical across
 // -workers 1 and -workers N. Workers are closed-loop: each issues its next
 // request as soon as the previous one completes.
+//
+// -mode selects the shard concurrency mode (mutex locking or a goroutine
+// per shard), -batch groups each shard's requests into AccessBatch calls
+// of that size (amortising one lock acquisition or actor handoff per
+// batch), and -nolat drops the per-request latency timing — the replay's
+// only clock reads. None of the three changes a single counter
+// (TestModeInvariance). -scalebench replays the workers x GOMAXPROCS x
+// mode matrix instead of a single run and merges it into the given JSON
+// file as the scale_matrix section.
 package main
 
 import (
@@ -29,7 +40,9 @@ import (
 	"sync"
 	"time"
 
+	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/runner"
 	"github.com/scip-cache/scip/internal/server"
 	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
@@ -41,15 +54,20 @@ import (
 // policies — the same construction scip-serve uses (server.BuildSharded),
 // so a load run and a daemon with matching flags replay the identical
 // decision stream.
-func buildSharded(policy string, capBytes int64, shards int, seed int64) (*shard.Cache, error) {
-	return server.BuildSharded(policy, capBytes, shards, seed)
+func buildSharded(policy string, capBytes int64, shards int, seed int64, opts ...shard.Option) (*shard.Cache, error) {
+	return server.BuildSharded(policy, capBytes, shards, seed, opts...)
 }
 
 // runLoad replays tr against c from `workers` goroutines, each owning the
-// shards whose index ≡ worker (mod workers). It reports interval snapshots
-// to out every `interval` (0 disables) and returns the final cumulative
-// snapshot and the elapsed wall time.
-func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat int, interval time.Duration, out io.Writer) (stats.Snapshot, time.Duration) {
+// shards whose index ≡ worker (mod workers). batch > 1 groups each shard's
+// requests into AccessBatch calls of that size; nolat disables the
+// per-request latency timing, which is done driver-side with one clock
+// read per request (stats.LatencyTicker reuses request N's completion
+// timestamp as request N+1's start — valid because workers are
+// closed-loop). It reports interval snapshots to out every `interval`
+// (0 disables) and returns the final cumulative snapshot and the elapsed
+// wall time.
+func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat bool, interval time.Duration, out io.Writer) (stats.Snapshot, time.Duration) {
 	st := c.Stats()
 	if st == nil {
 		st = c.EnableStats()
@@ -101,19 +119,59 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat int, interval time
 		}()
 	}
 
+	lat := st.Latency()
+	if nolat {
+		lat = nil // nil histogram: the ticker becomes a no-op, zero clock reads
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			tick := stats.NewLatencyTicker(lat)
+			if batch <= 1 {
+				tick.Start()
+				for rep := 0; rep < repeat; rep++ {
+					off := int64(rep) * span
+					for i, req := range tr.Requests {
+						if int(shardOf[i])%workers != w {
+							continue
+						}
+						req.Time += off
+						c.Access(req)
+						tick.Tick()
+					}
+				}
+				return
+			}
+			// One pending batch per owned shard, flushed when full and
+			// once at the end — a shard's request order is exactly its
+			// trace order, so batching is invisible to the counters.
+			bufs := make([][]cache.Request, c.Shards())
+			for s := w; s < c.Shards(); s += workers {
+				bufs[s] = make([]cache.Request, 0, batch)
+			}
+			tick.Start()
 			for rep := 0; rep < repeat; rep++ {
 				off := int64(rep) * span
 				for i, req := range tr.Requests {
-					if int(shardOf[i])%workers != w {
+					s := int(shardOf[i])
+					if s%workers != w {
 						continue
 					}
 					req.Time += off
-					c.Access(req)
+					bufs[s] = append(bufs[s], req)
+					if len(bufs[s]) == batch {
+						c.AccessBatch(s, bufs[s], nil)
+						tick.TickN(batch)
+						bufs[s] = bufs[s][:0]
+					}
+				}
+			}
+			for s := w; s < c.Shards(); s += workers {
+				if len(bufs[s]) > 0 {
+					c.AccessBatch(s, bufs[s], nil)
+					tick.TickN(len(bufs[s]))
 				}
 			}
 		}(w)
@@ -137,8 +195,13 @@ func main() {
 	shards := flag.Int("shards", 8, "shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS, clamped to the shard count)")
 	repeat := flag.Int("repeat", 1, "replay the trace this many times")
+	modeFlag := flag.String("mode", "mutex", "shard concurrency mode: mutex or actor (DESIGN.md §10)")
+	batch := flag.Int("batch", 1, "requests per AccessBatch call (amortises one lock/handoff per batch; <=1 = per-request)")
+	depth := flag.Int("depth", 0, "actor mailbox depth with -mode actor (0 = shard package default)")
+	nolat := flag.Bool("nolat", false, "skip per-request latency timing (drops the replay's only clock reads)")
 	interval := flag.Duration("interval", 1*time.Second, "live snapshot period (0 disables)")
 	jsonPath := flag.String("json", "LOAD.json", "write the final report as JSON to this path (empty disables)")
+	scalebench := flag.String("scalebench", "", "replay the workers x GOMAXPROCS x mode matrix and merge it into this JSON file as scale_matrix, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -208,18 +271,34 @@ func main() {
 		}
 	}
 
-	c, err := buildSharded(*policy, capBytes, *shards, *seed)
+	if *scalebench != "" {
+		if err := runScaleBench(tr, *policy, capBytes, *shards, *seed, *batch, *scalebench); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	mode, err := shard.ParseMode(*modeFlag)
 	if err != nil {
 		fail(err)
 	}
+	opts := []shard.Option{shard.WithMode(mode)}
+	if *depth > 0 {
+		opts = append(opts, shard.WithActorDepth(*depth))
+	}
+	c, err := buildSharded(*policy, capBytes, *shards, *seed, opts...)
+	if err != nil {
+		fail(err)
+	}
+	defer c.Close()
 	nWorkers := *workers
 	if nWorkers <= 0 {
 		nWorkers = runtime.GOMAXPROCS(0)
 	}
-	fmt.Printf("scip-load: %s  trace=%s (%d requests x%d)  cache=%.1f MiB  shards=%d  workers=%d\n",
-		c.Name(), tr.Name, len(tr.Requests), *repeat, float64(capBytes)/(1<<20), c.Shards(), min(nWorkers, c.Shards()))
+	fmt.Printf("scip-load: %s  trace=%s (%d requests x%d)  cache=%.1f MiB  shards=%d  workers=%d  mode=%s batch=%d\n",
+		c.Name(), tr.Name, len(tr.Requests), *repeat, float64(capBytes)/(1<<20), c.Shards(), min(nWorkers, c.Shards()), mode, *batch)
 
-	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *interval, os.Stdout)
+	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *batch, *nolat, *interval, os.Stdout)
 
 	rep := sim.BuildLoadReport(snap, elapsed)
 	rep.GeneratedUnix = time.Now().Unix()
@@ -242,4 +321,103 @@ func main() {
 		}
 		fmt.Printf("report written to %s\n", *jsonPath)
 	}
+}
+
+// runScaleBench replays the workers x GOMAXPROCS x mode throughput
+// matrix (`make bench-scale`): for each GOMAXPROCS value suited to this
+// machine and each worker count, it replays the trace once per
+// concurrency configuration — per-request mutex locking, mutex locking
+// amortised over -batch-request batches, and the actor path fed the same
+// batches — and merges the cells into jsonPath as the scale_matrix
+// section, alongside whatever else (scip-bench figures) the file holds.
+// Only Mreq/s is wall-clock; the miss ratio must be identical in every
+// cell and the run fails if any cell diverges (the serial-order
+// invariant, cross-checked rather than assumed).
+func runScaleBench(tr *trace.Trace, policy string, capBytes int64, shards int, seed int64, batch int, jsonPath string) error {
+	if batch <= 1 {
+		batch = 64
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	// 1, NumCPU/2, NumCPU — strictly increasing, duplicates skipped, so
+	// a 1-CPU machine runs just {1} and records that honestly.
+	gmps := []int{1}
+	if n := runtime.NumCPU(); n >= 4 {
+		gmps = append(gmps, n/2)
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		gmps = append(gmps, n)
+	}
+	var workerSet []int
+	for w := 1; w <= 8; w *= 2 {
+		if w <= shards {
+			workerSet = append(workerSet, w)
+		}
+	}
+	modes := []struct {
+		name  string
+		mode  shard.Mode
+		batch int
+	}{
+		{"mutex", shard.ModeMutex, 1},
+		{"batched", shard.ModeMutex, batch},
+		{"actor", shard.ModeActor, batch},
+	}
+
+	rep := sim.ScaleReport{
+		Trace:      tr.Name,
+		Policy:     strings.ToUpper(policy),
+		CacheBytes: capBytes,
+		Shards:     shards,
+		Requests:   len(tr.Requests),
+		NumCPU:     runtime.NumCPU(),
+	}
+	fmt.Printf("scip-load scalebench: %s  trace=%s (%d requests)  cache=%.1f MiB  shards=%d  ncpu=%d\n",
+		rep.Policy, tr.Name, len(tr.Requests), float64(capBytes)/(1<<20), shards, rep.NumCPU)
+	fmt.Printf("%-10s %-8s %-10s %-6s %12s %10s\n", "gomaxprocs", "workers", "mode", "batch", "Mreq/s", "missRatio")
+
+	wantMiss, first := 0.0, true
+	for _, g := range gmps {
+		runtime.GOMAXPROCS(g)
+		for _, w := range workerSet {
+			for _, m := range modes {
+				c, err := buildSharded(policy, capBytes, shards, seed, shard.WithMode(m.mode))
+				if err != nil {
+					return err
+				}
+				start := time.Now()
+				hits := runner.ReplaySharded(tr.Requests, c, w, m.batch)
+				elapsed := time.Since(start).Seconds()
+				c.Close()
+				miss := 1 - float64(hits)/float64(len(tr.Requests))
+				if first {
+					wantMiss, first = miss, false
+				} else if miss != wantMiss {
+					return fmt.Errorf("scalebench: gomaxprocs=%d workers=%d mode=%s: miss ratio %.6f != %.6f — serial-order invariant violated",
+						g, w, m.name, miss, wantMiss)
+				}
+				cell := sim.ScaleCell{
+					Workers:    w,
+					GoMaxProcs: g,
+					Mode:       m.name,
+					Batch:      m.batch,
+					MreqPerSec: float64(len(tr.Requests)) / elapsed / 1e6,
+					MissRatio:  miss,
+				}
+				rep.Cells = append(rep.Cells, cell)
+				fmt.Printf("%-10d %-8d %-10s %-6d %12.2f %10.4f\n",
+					g, w, m.name, m.batch, cell.MreqPerSec, miss)
+			}
+		}
+	}
+	runtime.GOMAXPROCS(prev)
+	rep.GeneratedUnix = time.Now().Unix()
+	out := struct {
+		ScaleMatrix sim.ScaleReport `json:"scale_matrix"`
+	}{rep}
+	if err := sim.MergeJSON(jsonPath, out); err != nil {
+		return err
+	}
+	fmt.Printf("scale_matrix merged into %s (%d cells)\n", jsonPath, len(rep.Cells))
+	return nil
 }

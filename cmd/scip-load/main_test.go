@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/scip-cache/scip/internal/gen"
+	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
 	"github.com/scip-cache/scip/internal/stats"
 )
@@ -28,7 +29,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap, _ := runLoad(tr, c, workers, 1, 0, nil)
+		snap, _ := runLoad(tr, c, workers, 1, 1, false, 0, nil)
 		return snap
 	}
 	for _, policy := range []string{"SCIP", "LRU", "LRB"} {
@@ -68,7 +69,7 @@ func TestRepeatExtendsRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap, _ := runLoad(tr, c, workers, 2, 0, nil)
+		snap, _ := runLoad(tr, c, workers, 2, 1, false, 0, nil)
 		return snap
 	}
 	serial, concurrent := run(1), run(4)
@@ -94,7 +95,7 @@ func TestIntervalSnapshotOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	snap, _ := runLoad(tr, c, 4, 20, 50*time.Millisecond, &out)
+	snap, _ := runLoad(tr, c, 4, 20, 1, false, 50*time.Millisecond, &out)
 	if snap.Totals().Requests == 0 {
 		t.Fatal("no requests replayed")
 	}
@@ -113,12 +114,63 @@ func TestIntervalSnapshotOutput(t *testing.T) {
 // delta so report parsing stays stable.
 func TestFormatLoadInterval(t *testing.T) {
 	st := stats.New(2)
-	st.ObserveAccess(0, 100, true, 1000, 0, time.Millisecond)
-	st.ObserveAccess(1, 100, false, 1000, 1, time.Millisecond)
+	st.ObserveAccess(0, 100, true, 1000, 0)
+	st.ObserveAccess(1, 100, false, 1000, 1)
+	st.Latency().Observe(time.Millisecond)
+	st.Latency().Observe(time.Millisecond)
 	line := sim.FormatLoadInterval(2*time.Second, time.Second, st.Snapshot())
 	for _, want := range []string{"t=    2.0s", "req/s=        2", "miss= 50.00%", "byteMiss= 50.00%", "occSkew= 1.00"} {
 		if !strings.Contains(line, want) {
 			t.Fatalf("line %q missing %q", line, want)
+		}
+	}
+}
+
+// TestModeInvariance is the acceptance gate for the concurrency modes:
+// for every policy, every combination of worker count, shard mode and
+// batch size must produce byte-identical per-shard counters. A mode that
+// reorders even one shard's request subsequence, or a batch path that
+// accounts evictions differently, fails here.
+func TestModeInvariance(t *testing.T) {
+	tr, err := gen.Generate(gen.CDNT.Config(0.001, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capBytes := gen.CDNT.CacheBytes(64<<30, 0.001)
+	variants := []struct {
+		name  string
+		mode  shard.Mode
+		batch int
+	}{
+		{"mutex", shard.ModeMutex, 1},
+		{"batched", shard.ModeMutex, 64},
+		{"actor", shard.ModeActor, 64},
+	}
+	for _, policy := range []string{"SCIP", "LRU", "LRB"} {
+		var want stats.Snapshot
+		first := true
+		for _, workers := range []int{1, 2, 4, 8} {
+			for _, v := range variants {
+				c, err := buildSharded(policy, capBytes, 8, 1, shard.WithMode(v.mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				snap, _ := runLoad(tr, c, workers, 1, v.batch, true, 0, nil)
+				c.Close()
+				if first {
+					want, first = snap, false
+					continue
+				}
+				for i := range want.Shards {
+					a, b := want.Shards[i], snap.Shards[i]
+					if a.Requests != b.Requests || a.Hits != b.Hits ||
+						a.BytesRequested != b.BytesRequested || a.BytesHit != b.BytesHit ||
+						a.Evictions != b.Evictions || a.UsedBytes != b.UsedBytes {
+						t.Fatalf("%s %s workers=%d batch=%d: shard %d diverges:\n  reference: %+v\n  got:       %+v",
+							policy, v.name, workers, v.batch, i, a, b)
+					}
+				}
+			}
 		}
 	}
 }

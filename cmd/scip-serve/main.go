@@ -9,6 +9,7 @@
 // Usage:
 //
 //	scip-serve [-addr :8344] [-policy SCIP] [-cache 256MiB] [-shards 8] [-seed 1]
+//	    [-mode mutex|actor] [-depth N] [-nolat]
 //	    [-origin URL] [-origin-timeout 2s] [-origin-retries 2] [-origin-backoff 50ms]
 //	    [-origin-latency 0] [-serve-stale] [-max-body 1MiB] [-drain 10s] [-interval 10s]
 //
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"github.com/scip-cache/scip/internal/server"
+	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
 	"github.com/scip-cache/scip/internal/trace"
 )
@@ -40,6 +42,9 @@ func main() {
 	cacheSize := flag.String("cache", "256MiB", "cache capacity (KiB/MiB/GiB suffixes)")
 	shards := flag.Int("shards", 8, "shard count (rounded up to a power of two)")
 	seed := flag.Int64("seed", 1, "policy seed (shard i gets seed+i)")
+	modeFlag := flag.String("mode", "mutex", "shard concurrency mode: mutex or actor (DESIGN.md §10)")
+	depth := flag.Int("depth", 0, "actor mailbox depth with -mode actor (0 = shard package default)")
+	nolat := flag.Bool("nolat", false, "skip per-request access latency timing (statusz/metrics report zero latency)")
 	originURL := flag.String("origin", "", "upstream origin base URL (empty: deterministic synthetic origin)")
 	originTimeout := flag.Duration("origin-timeout", 2*time.Second, "per-attempt origin fetch timeout")
 	originRetries := flag.Int("origin-retries", 2, "origin fetch retries after the first failure")
@@ -64,11 +69,18 @@ func main() {
 	if err != nil {
 		fail(fmt.Errorf("bad -max-body: %w", err))
 	}
+	mode, err := shard.ParseMode(*modeFlag)
+	if err != nil {
+		fail(err)
+	}
 	cfg := server.Config{
 		Policy:        *policy,
 		CacheBytes:    capBytes,
 		Shards:        *shards,
 		Seed:          *seed,
+		Mode:          mode,
+		ActorDepth:    *depth,
+		NoLatency:     *nolat,
 		OriginTimeout: *originTimeout,
 		OriginRetries: *originRetries,
 		OriginBackoff: *originBackoff,
@@ -107,6 +119,7 @@ func main() {
 	if err := <-errc; err != nil {
 		fail(err)
 	}
+	s.Close() // requests have drained; stop the actor goroutines
 	snap := s.Stats().Snapshot()
 	tot := snap.Totals()
 	fmt.Printf("scip-serve: served %d requests (miss=%.4f byteMiss=%.4f), bye\n",

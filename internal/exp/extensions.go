@@ -3,8 +3,6 @@ package exp
 import (
 	"fmt"
 	"runtime"
-	"sync"
-	"sync/atomic"
 	"time"
 
 	"github.com/scip-cache/scip/internal/admission"
@@ -12,6 +10,7 @@ import (
 	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/gen"
 	"github.com/scip-cache/scip/internal/replacement"
+	"github.com/scip-cache/scip/internal/runner"
 	"github.com/scip-cache/scip/internal/shard"
 )
 
@@ -103,7 +102,7 @@ func runAdmission(cfg Config) error {
 // partitions the trace by shard (see replayShardPartitioned).
 func runSharded(cfg Config) error {
 	header(cfg.Out, "# Extension C — sharded concurrent SCIP throughput (scale %.4g)", cfg.Scale)
-	header(cfg.Out, "%-8s %10s %14s %10s", "workers", "shards", "Mreq/s", "missRatio")
+	header(cfg.Out, "%-8s %-10s %10s %8s %14s %10s", "workers", "mode", "shards", "batch", "Mreq/s", "missRatio")
 	tr, err := getTrace(gen.CDNT, cfg.Scale, cfg.Seeds[0])
 	if err != nil {
 		return err
@@ -116,20 +115,37 @@ func runSharded(cfg Config) error {
 	if maxWorkers < 4 {
 		maxWorkers = 4
 	}
+	// The three concurrency configurations of DESIGN.md §10: per-request
+	// mutex locking, mutex locking amortised over 64-request batches, and
+	// the goroutine-per-shard actor path fed 64-request batches. The
+	// missRatio column must agree across all of them (serial-order
+	// invariant); only Mreq/s may differ.
+	modes := []struct {
+		name  string
+		mode  shard.Mode
+		batch int
+	}{
+		{"mutex", shard.ModeMutex, 1},
+		{"batched", shard.ModeMutex, 64},
+		{"actor", shard.ModeActor, 64},
+	}
 	for workers := 1; workers <= maxWorkers; workers *= 2 {
 		shards := workers * 2
-		c, err := shard.New("scip", capBytes, shards, func(cb int64, i int) cache.Policy {
-			return core.NewCache(cb, core.WithSeed(int64(i)+1), core.WithInterval(scaledInterval(cfg.Scale)))
-		})
-		if err != nil {
-			return err
+		for _, m := range modes {
+			c, err := shard.New("scip", capBytes, shards, func(cb int64, i int) cache.Policy {
+				return core.NewCache(cb, core.WithSeed(int64(i)+1), core.WithInterval(scaledInterval(cfg.Scale)))
+			}, shard.WithMode(m.mode))
+			if err != nil {
+				return err
+			}
+			start := time.Now() //scip:wallclock-ok metering only: feeds the Mreq/s column, never a cache decision
+			hits := replayShardPartitioned(tr.Requests, c, workers, m.batch)
+			elapsed := time.Since(start).Seconds() //scip:wallclock-ok metering only: feeds the Mreq/s column, never a cache decision
+			c.Close()
+			total := len(tr.Requests)
+			fmt.Fprintf(cfg.Out, "%-8d %-10s %10d %8d %14.2f %10.4f\n",
+				workers, m.name, c.Shards(), m.batch, float64(total)/elapsed/1e6, 1-float64(hits)/float64(total))
 		}
-		start := time.Now() //scip:wallclock-ok metering only: feeds the Mreq/s column, never a cache decision
-		hits := replayShardPartitioned(tr.Requests, c, workers)
-		elapsed := time.Since(start).Seconds() //scip:wallclock-ok metering only: feeds the Mreq/s column, never a cache decision
-		total := len(tr.Requests)
-		fmt.Fprintf(cfg.Out, "%-8d %10d %14.2f %10.4f\n",
-			workers, c.Shards(), float64(total)/elapsed/1e6, 1-float64(hits)/float64(total))
 	}
 	return nil
 }
@@ -143,35 +159,9 @@ func runSharded(cfg Config) error {
 // the same scheme the scip-load harness uses. The previous index-range
 // partitioning interleaved each shard's requests across workers in
 // scheduler order, which made the printed miss ratio nondeterministic.
-func replayShardPartitioned(reqs []cache.Request, c *shard.Cache, workers int) int64 {
-	if workers < 1 {
-		workers = 1
-	}
-	if workers > c.Shards() {
-		workers = c.Shards()
-	}
-	shardOf := make([]int32, len(reqs))
-	for i, r := range reqs {
-		shardOf[i] = int32(c.ShardIndex(r.Key))
-	}
-	var hits atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			var h int64
-			for i, r := range reqs {
-				if int(shardOf[i])%workers != w {
-					continue
-				}
-				if c.Access(r) {
-					h++
-				}
-			}
-			hits.Add(h)
-		}(w)
-	}
-	wg.Wait()
-	return hits.Load()
+// The loop itself lives in runner.ReplaySharded, shared with the
+// scip-load scale matrix; batch chooses per-request Access (<= 1) or
+// amortised AccessBatch issue.
+func replayShardPartitioned(reqs []cache.Request, c *shard.Cache, workers, batch int) int64 {
+	return runner.ReplaySharded(reqs, c, workers, batch)
 }

@@ -32,14 +32,19 @@ func TestShardedReplayWorkerInvariant(t *testing.T) {
 		return c
 	}
 	var want int64
+	first := true
 	for _, workers := range []int{1, 2, 3, 4, 8} {
-		hits := replayShardPartitioned(tr.Requests, build(), workers)
-		if workers == 1 {
-			want = hits
-			continue
-		}
-		if hits != want {
-			t.Fatalf("workers=%d: hits=%d, want %d (serial replay)", workers, hits, want)
+		// Batch size must be invisible too: batching only amortises
+		// synchronisation, it never reorders a shard's subsequence.
+		for _, batch := range []int{1, 7, 64} {
+			hits := replayShardPartitioned(tr.Requests, build(), workers, batch)
+			if first {
+				want, first = hits, false
+				continue
+			}
+			if hits != want {
+				t.Fatalf("workers=%d batch=%d: hits=%d, want %d (serial replay)", workers, batch, hits, want)
+			}
 		}
 	}
 }

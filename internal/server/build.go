@@ -16,8 +16,10 @@ import (
 // given (policy, capacity, shards, seed) tuple always produces the same
 // decision stream — the property the scip-load and scip-serve
 // comparisons rest on. Both commands build their cache through this one
-// function.
-func BuildSharded(policy string, capBytes int64, shards int, seed int64) (*shard.Cache, error) {
+// function. opts selects the shard concurrency configuration
+// (shard.WithMode, shard.WithActorDepth); the decision stream is
+// identical in every mode.
+func BuildSharded(policy string, capBytes int64, shards int, seed int64, opts ...shard.Option) (*shard.Cache, error) {
 	var build shard.Builder
 	name := strings.ToUpper(policy)
 	switch name {
@@ -38,5 +40,5 @@ func BuildSharded(policy string, capBytes int64, shards int, seed int64) (*shard
 	default:
 		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU or LRB)", policy)
 	}
-	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build)
+	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build, opts...)
 }

@@ -31,6 +31,17 @@ type Config struct {
 	Shards int
 	// Seed seeds the per-shard policies (shard i gets Seed+i).
 	Seed int64
+	// Mode selects the shard concurrency mode (DESIGN.md §10): the
+	// default shard.ModeMutex, or shard.ModeActor for a goroutine per
+	// shard. Counters and decisions are identical in both.
+	Mode shard.Mode
+	// ActorDepth bounds each actor's mailbox in ModeActor (0 = shard
+	// package default).
+	ActorDepth int
+	// NoLatency disables the per-request latency histogram, removing the
+	// serving path's only two clock reads; /statusz and /metrics then
+	// report zero latency.
+	NoLatency bool
 
 	// Origin supplies object bodies on a miss (default: a zero-latency
 	// SyntheticOrigin).
@@ -96,6 +107,9 @@ type Server struct {
 	// global counter preserves.
 	clock atomic.Int64
 	start time.Time
+	// shardStr[i] is strconv.Itoa(i), precomputed so the X-Cache-Shard
+	// header never formats on the serving path.
+	shardStr []string
 
 	// Serving-path counters (see OPERATIONS.md for the catalogue).
 	inflight         atomic.Int64
@@ -115,7 +129,11 @@ func New(cfg Config) (*Server, error) {
 	if cfg.CacheBytes <= 0 {
 		return nil, fmt.Errorf("server: CacheBytes must be positive, got %d", cfg.CacheBytes)
 	}
-	c, err := BuildSharded(cfg.Policy, cfg.CacheBytes, cfg.Shards, cfg.Seed)
+	opts := []shard.Option{shard.WithMode(cfg.Mode)}
+	if cfg.ActorDepth > 0 {
+		opts = append(opts, shard.WithActorDepth(cfg.ActorDepth))
+	}
+	c, err := BuildSharded(cfg.Policy, cfg.CacheBytes, cfg.Shards, cfg.Seed, opts...)
 	if err != nil {
 		return nil, fmt.Errorf("server: %w", err)
 	}
@@ -138,8 +156,17 @@ func New(cfg Config) (*Server, error) {
 		}
 		s.bodies[i] = newBodyStore(per)
 	}
+	s.shardStr = make([]string, c.Shards())
+	for i := range s.shardStr {
+		s.shardStr[i] = strconv.Itoa(i)
+	}
 	return s, nil
 }
+
+// Close stops the cache's actor goroutines (a no-op in ModeMutex). The
+// control plane — /metrics, /statusz, Remove — keeps working afterwards,
+// but object requests must have drained first.
+func (s *Server) Close() { s.cache.Close() }
 
 // Cache returns the sharded cache front.
 func (s *Server) Cache() *shard.Cache { return s.cache }
@@ -168,50 +195,37 @@ func (s *Server) Handler() http.Handler {
 	return s.instrument(mux)
 }
 
-// instrument wraps the mux with in-flight tracking and response-class
-// counting.
+// instrument wraps the mux with in-flight tracking, response-class
+// counting and the per-request arena: every request runs against a
+// pooled reqScope instead of a freshly allocated status recorder, which
+// is what lets the steady-state serving path reach zero allocations
+// (TestServeAllocs).
 func (s *Server) instrument(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		s.inflight.Add(1)
-		defer s.inflight.Add(-1)
-		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
-		next.ServeHTTP(rec, r)
-		if class := rec.status / 100; class >= 1 && class <= 5 {
+		sc := scopePool.Get().(*reqScope)
+		sc.reset(w)
+		next.ServeHTTP(sc, r)
+		if class := sc.status / 100; class >= 1 && class <= 5 {
 			s.responsesByClass[class].Add(1)
 		}
+		sc.w = nil
+		scopePool.Put(sc)
+		s.inflight.Add(-1)
 	})
 }
 
-// statusRecorder captures the response status for the class counters.
-type statusRecorder struct {
-	http.ResponseWriter
-	status int
-}
-
-func (r *statusRecorder) WriteHeader(code int) {
-	r.status = code
-	r.ResponseWriter.WriteHeader(code)
-}
-
-// reqMeta extracts key and the optional size/t query parameters.
+// reqMeta extracts key and the optional size/t query parameters. The
+// query is scanned in place (parseQuery) rather than through
+// r.URL.Query(), whose map was the dominant per-request allocation.
 func reqMeta(r *http.Request) (key uint64, size int64, t int64, err error) {
 	key, err = strconv.ParseUint(r.PathValue("key"), 10, 64)
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("bad key: %w", err)
 	}
-	size = -1
-	if v := r.URL.Query().Get("size"); v != "" {
-		size, err = strconv.ParseInt(v, 10, 64)
-		if err != nil || size <= 0 {
-			return 0, 0, 0, fmt.Errorf("bad size %q", v)
-		}
-	}
-	t = -1
-	if v := r.URL.Query().Get("t"); v != "" {
-		t, err = strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return 0, 0, 0, fmt.Errorf("bad t %q", v)
-		}
+	size, t, err = parseQuery(r.URL.RawQuery)
+	if err != nil {
+		return 0, 0, 0, err
 	}
 	return key, size, t, nil
 }
@@ -268,14 +282,19 @@ func (s *Server) fetchOrigin(r *http.Request, shardIdx int, key uint64, size int
 	return res
 }
 
-// serveBody writes an object response.
+// serveBody writes an object response. The numeric header values are
+// formatted into the request's arena: that is safe here, and only here,
+// because this path always writes a body, and net/http serialises the
+// header block during the first body write — before the handler returns
+// and the arena is recycled (see the reqScope lifetime rule).
 func (s *Server) serveBody(w http.ResponseWriter, cacheState string, shardIdx int, objSize int64, body []byte) {
+	sc := scopeOf(w)
 	h := w.Header()
-	h.Set("Content-Type", "application/octet-stream")
-	h.Set("X-Cache", cacheState)
-	h.Set("X-Cache-Shard", strconv.Itoa(shardIdx))
-	h.Set("X-Object-Size", strconv.FormatInt(objSize, 10))
-	h.Set("Content-Length", strconv.Itoa(len(body)))
+	setHeader(h, "Content-Type", "application/octet-stream")
+	setHeader(h, "X-Cache", cacheState)
+	setHeader(h, "X-Cache-Shard", s.shardStr[shardIdx])
+	setHeader(h, "X-Object-Size", sc.itoa(objSize))
+	setHeader(h, "Content-Length", sc.itoa(int64(len(body))))
 	w.WriteHeader(http.StatusOK)
 	w.Write(body)
 }
@@ -308,7 +327,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 	hit := s.access(key, size, s.tick(t))
 	if hit {
-		if body, ok := s.bodies[shardIdx].get(key); ok {
+		if body, ok := s.copyBody(w, shardIdx, key); ok {
 			s.serveBody(w, "HIT", shardIdx, size, body)
 			return
 		}
@@ -333,7 +352,7 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 // degradation is enabled and one survives, a 502 otherwise.
 func (s *Server) finishWithError(w http.ResponseWriter, shardIdx int, key uint64, err error) {
 	if s.cfg.ServeStale {
-		if body, ok := s.bodies[shardIdx].get(key); ok {
+		if body, ok := s.copyBody(w, shardIdx, key); ok {
 			s.staleServes.Add(1)
 			s.serveBody(w, "STALE", shardIdx, int64(len(body)), body)
 			return
@@ -342,19 +361,50 @@ func (s *Server) finishWithError(w http.ResponseWriter, shardIdx int, key uint64
 	http.Error(w, "origin: "+err.Error(), http.StatusBadGateway)
 }
 
-// access performs the one policy access of an object request under the
-// shard lock, timing it into the stats block via shard.Cache.
-func (s *Server) access(key uint64, size, t int64) bool {
-	return s.cache.Access(cache.Request{Time: t, Key: key, Size: size})
+// copyBody fetches key's stored body into the request arena. The store
+// owns its entry buffers and reuses them in place on refresh, so the
+// serving path must not hold store memory outside the store lock; the
+// copy is what makes that reuse safe (see bodyStore.put).
+func (s *Server) copyBody(w http.ResponseWriter, shardIdx int, key uint64) ([]byte, bool) {
+	sc := scopeOf(w)
+	var dst []byte
+	if sc != nil {
+		dst = sc.body[:0]
+	}
+	body, ok := s.bodies[shardIdx].get(key, dst)
+	if ok && sc != nil {
+		sc.body = body
+	}
+	return body, ok
 }
 
+// access performs the one policy access of an object request under the
+// shard lock. The daemon is open-loop — requests arrive whenever clients
+// send them — so unlike the closed-loop replay drivers (which reuse the
+// previous completion timestamp, stats.LatencyTicker) it must pay two
+// clock reads per request to time the access; Config.NoLatency trades
+// the histogram away to eliminate them.
+func (s *Server) access(key uint64, size, t int64) bool {
+	if s.cfg.NoLatency {
+		return s.cache.Access(cache.Request{Time: t, Key: key, Size: size})
+	}
+	start := time.Now()
+	hit := s.cache.Access(cache.Request{Time: t, Key: key, Size: size})
+	s.st.Latency().Observe(time.Since(start))
+	return hit
+}
+
+// handlePut responds 204 with no body, so net/http serialises its
+// headers after the handler returns — after the arena is recycled. Every
+// header value on this path is therefore a constant or a precomputed
+// string, never arena memory (see the reqScope lifetime rule).
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	key, size, t, err := reqMeta(r)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	body, err := scopeOf(w).readBody(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
 		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
 		return
@@ -372,11 +422,11 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		s.bodies[shardIdx].put(key, body)
 	}
 	h := w.Header()
-	h.Set("X-Cache-Shard", strconv.Itoa(shardIdx))
+	setHeader(h, "X-Cache-Shard", s.shardStr[shardIdx])
 	if hit {
-		h.Set("X-Cache", "HIT")
+		setHeader(h, "X-Cache", "HIT")
 	} else {
-		h.Set("X-Cache", "MISS")
+		setHeader(h, "X-Cache", "MISS")
 	}
 	w.WriteHeader(http.StatusNoContent)
 }
@@ -441,7 +491,7 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	snap := s.st.Snapshot()
 	tot := snap.Totals()
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "scip-serve: %s\n", s.cache.Name())
+	fmt.Fprintf(w, "scip-serve: %s (%s mode)\n", s.cache.Name(), s.cache.Mode())
 	fmt.Fprintf(w, "uptime:     %s\n", time.Since(s.start).Round(time.Second))
 	fmt.Fprintf(w, "capacity:   %.1f MiB across %d shards\n",
 		float64(s.cfg.CacheBytes)/(1<<20), s.cache.Shards())

@@ -28,8 +28,12 @@ func newBodyStore(capBytes int64) *bodyStore {
 	return &bodyStore{capBytes: capBytes, m: make(map[uint64]*bodyEntry)}
 }
 
-// get returns the stored body and refreshes its recency.
-func (s *bodyStore) get(key uint64) ([]byte, bool) {
+// get appends the stored body to dst (may be nil) and refreshes the
+// entry's recency. The copy is deliberate: entry buffers are reused in
+// place by put, so handing a caller store-owned memory would race with
+// the next refresh of the same key. Callers pass a per-request arena
+// buffer, making the steady-state copy allocation-free.
+func (s *bodyStore) get(key uint64, dst []byte) ([]byte, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e, ok := s.m[key]
@@ -38,11 +42,14 @@ func (s *bodyStore) get(key uint64) ([]byte, bool) {
 	}
 	s.unlink(e)
 	s.pushFront(e)
-	return e.body, true
+	return append(dst, e.body...), true
 }
 
-// put stores body under key, displacing least-recently-used bodies while
-// over capacity. Bodies larger than the store are not kept.
+// put stores a copy of body under key, displacing least-recently-used
+// bodies while over capacity. Refreshing a resident key reuses the
+// entry's buffer in place (no allocation once its capacity suffices),
+// which is why body may be arena memory that the caller recycles after
+// the request. Bodies larger than the store are not kept.
 func (s *bodyStore) put(key uint64, body []byte) {
 	n := int64(len(body))
 	if n > s.capBytes {
@@ -52,11 +59,11 @@ func (s *bodyStore) put(key uint64, body []byte) {
 	defer s.mu.Unlock()
 	if e, ok := s.m[key]; ok {
 		s.used += n - int64(len(e.body))
-		e.body = body
+		e.body = append(e.body[:0], body...)
 		s.unlink(e)
 		s.pushFront(e)
 	} else {
-		e := &bodyEntry{key: key, body: body}
+		e := &bodyEntry{key: key, body: append([]byte(nil), body...)}
 		s.m[key] = e
 		s.pushFront(e)
 		s.used += n

@@ -1,8 +1,11 @@
 package sim
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"strings"
 	"time"
@@ -23,6 +26,68 @@ func WriteJSON(path string, v any) error {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return nil
+}
+
+// MergeJSON overlays v's top-level keys onto the JSON object already at
+// path (if any) and writes the result back in the WriteJSON style. It
+// lets independently produced report sections — the figure timings of
+// scip-bench and the scale_matrix of scip-load — share one artefact file
+// without clobbering each other: regenerating either section rewrites
+// only its own keys. Existing numbers pass through as json.Number, so a
+// merge never reformats values it does not own. v must marshal to a JSON
+// object.
+func MergeJSON(path string, v any) error {
+	merged := map[string]any{}
+	if buf, err := os.ReadFile(path); err == nil {
+		dec := json.NewDecoder(bytes.NewReader(buf))
+		dec.UseNumber()
+		if err := dec.Decode(&merged); err != nil {
+			return fmt.Errorf("merging into %s: %w", path, err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("merging into %s: %w", path, err)
+	}
+	buf, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("encoding %s: %w", path, err)
+	}
+	var overlay map[string]any
+	dec := json.NewDecoder(bytes.NewReader(buf))
+	dec.UseNumber()
+	if err := dec.Decode(&overlay); err != nil {
+		return fmt.Errorf("merging %T into %s: %w", v, path, err)
+	}
+	for k, val := range overlay {
+		merged[k] = val
+	}
+	return WriteJSON(path, merged)
+}
+
+// ScaleCell is one configuration of the scip-load scale matrix: a
+// (workers, GOMAXPROCS, concurrency mode, batch size) tuple and what it
+// measured. MreqPerSec is wall-clock; MissRatio must be identical across
+// every cell of a matrix (the serial-order invariant) and the harness
+// rejects the run otherwise.
+type ScaleCell struct {
+	Workers    int     `json:"workers"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Mode       string  `json:"mode"`
+	Batch      int     `json:"batch"`
+	MreqPerSec float64 `json:"mreq_per_sec"`
+	MissRatio  float64 `json:"miss_ratio"`
+}
+
+// ScaleReport is the scale_matrix section of BENCH.json, produced by
+// `scip-load -scalebench` (see `make bench-scale`).
+type ScaleReport struct {
+	GeneratedUnix int64       `json:"generated_unix"`
+	Trace         string      `json:"trace"`
+	Policy        string      `json:"policy"`
+	CacheBytes    int64       `json:"cache_bytes"`
+	Shards        int         `json:"shards"`
+	Requests      int         `json:"requests"`
+	NumCPU        int         `json:"num_cpu"`
+	Cells         []ScaleCell `json:"cells"`
 }
 
 // LoadReport is the final JSON document of a scip-load run. It shares the

@@ -1,0 +1,79 @@
+package sim
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestMergeJSON: independently written sections must coexist in one
+// artefact file — merging scale_matrix into a file with figure timings
+// keeps the timings, and re-merging timings keeps the matrix. Numbers
+// the merge does not own must survive byte-exact.
+func TestMergeJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH.json")
+
+	type figures struct {
+		GeneratedUnix int64   `json:"generated_unix"`
+		Scale         float64 `json:"scale"`
+	}
+	if err := MergeJSON(path, figures{GeneratedUnix: 111, Scale: 0.01}); err != nil {
+		t.Fatal(err)
+	}
+	matrix := struct {
+		ScaleMatrix ScaleReport `json:"scale_matrix"`
+	}{ScaleReport{
+		Trace:  "CDN-T",
+		Policy: "SCIP",
+		Cells:  []ScaleCell{{Workers: 4, GoMaxProcs: 1, Mode: "actor", Batch: 64, MreqPerSec: 3.25, MissRatio: 0.41}},
+	}}
+	if err := MergeJSON(path, matrix); err != nil {
+		t.Fatal(err)
+	}
+
+	var got map[string]any
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("merged file is not valid JSON: %v", err)
+	}
+	if got["generated_unix"] != float64(111) || got["scale"] != 0.01 {
+		t.Fatalf("first section lost: %v", got)
+	}
+	sm, ok := got["scale_matrix"].(map[string]any)
+	if !ok || sm["policy"] != "SCIP" {
+		t.Fatalf("scale_matrix missing or wrong: %v", got["scale_matrix"])
+	}
+
+	// A figure rerun overwrites only its own keys.
+	if err := MergeJSON(path, figures{GeneratedUnix: 222, Scale: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	buf, _ = os.ReadFile(path)
+	s := string(buf)
+	if !strings.Contains(s, `"generated_unix": 222`) {
+		t.Fatalf("rerun did not update its keys:\n%s", s)
+	}
+	if !strings.Contains(s, `"scale_matrix"`) || !strings.Contains(s, `3.25`) {
+		t.Fatalf("rerun clobbered scale_matrix:\n%s", s)
+	}
+	if !strings.HasSuffix(s, "\n") {
+		t.Fatal("merged file lost the trailing newline")
+	}
+}
+
+// TestMergeJSONRejectsNonObject: merging into a file that is not a JSON
+// object must fail loudly rather than silently replace it.
+func TestMergeJSONRejectsNonObject(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.json")
+	if err := os.WriteFile(path, []byte("[1,2,3]\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := MergeJSON(path, map[string]int{"a": 1}); err == nil {
+		t.Fatal("array file accepted")
+	}
+}

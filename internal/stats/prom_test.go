@@ -91,9 +91,12 @@ func promValue(t *testing.T, text, series string) float64 {
 
 func TestWritePrometheus(t *testing.T) {
 	st := New(2)
-	st.ObserveAccess(0, 100, true, 1000, 0, 200*time.Nanosecond)
-	st.ObserveAccess(0, 300, false, 1300, 1, 5*time.Microsecond)
-	st.ObserveAccess(1, 50, true, 50, 0, time.Millisecond)
+	st.ObserveAccess(0, 100, true, 1000, 0)
+	st.Latency().Observe(200 * time.Nanosecond)
+	st.ObserveAccess(0, 300, false, 1300, 1)
+	st.Latency().Observe(5 * time.Microsecond)
+	st.ObserveAccess(1, 50, true, 50, 0)
+	st.Latency().Observe(time.Millisecond)
 
 	var b strings.Builder
 	if err := WritePrometheus(&b, st.Snapshot(), "scip"); err != nil {
@@ -159,12 +162,14 @@ func (f failWriter) Write([]byte) (int, error) { return 0, f.err }
 // differences like the other counters.
 func TestLatencySumTracksObservations(t *testing.T) {
 	st := New(1)
-	st.ObserveAccess(0, 1, true, 1, 0, time.Microsecond)
+	st.ObserveAccess(0, 1, true, 1, 0)
+	st.Latency().Observe(time.Microsecond)
 	first := st.Snapshot()
 	if first.LatencySumNanos != 1000 {
 		t.Fatalf("sum = %d, want 1000", first.LatencySumNanos)
 	}
-	st.ObserveAccess(0, 1, true, 1, 0, 3*time.Microsecond)
+	st.ObserveAccess(0, 1, true, 1, 0)
+	st.Latency().Observe(3 * time.Microsecond)
 	delta := st.Snapshot().Sub(first)
 	if delta.LatencySumNanos != 3000 {
 		t.Fatalf("delta sum = %d, want 3000", delta.LatencySumNanos)

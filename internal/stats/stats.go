@@ -85,6 +85,18 @@ func (h *Histogram) Observe(d time.Duration) {
 	h.sum.Add(d.Nanoseconds())
 }
 
+// ObserveN records n latency samples of d/n each — the batched-access
+// form: a batch of n requests completed after a total of d, so each is
+// attributed the mean per-request latency. One histogram update and one
+// sum update cover the whole batch.
+func (h *Histogram) ObserveN(d time.Duration, n int) {
+	if n <= 0 {
+		return
+	}
+	h.buckets[bucketFor(d/time.Duration(n))].Add(int64(n))
+	h.sum.Add(d.Nanoseconds())
+}
+
 // Stats aggregates per-shard counters and the shared latency histogram
 // for one cache front.
 type Stats struct {
@@ -110,9 +122,11 @@ func (s *Stats) Shard(i int) *ShardCounters { return &s.shards[i].ShardCounters 
 func (s *Stats) Latency() *Histogram { return &s.lat }
 
 // ObserveAccess records one access routed to shard i: its hit outcome,
-// the object size, the shard's post-access occupancy and cumulative
-// eviction count, and the access latency.
-func (s *Stats) ObserveAccess(i int, size int64, hit bool, usedBytes, evictions int64, lat time.Duration) {
+// the object size, and the shard's post-access occupancy and cumulative
+// eviction count. It touches only atomic counters — no clock reads;
+// latency is the caller's concern (see LatencyTicker for the
+// one-clock-read-per-request scheme the load drivers use).
+func (s *Stats) ObserveAccess(i int, size int64, hit bool, usedBytes, evictions int64) {
 	c := s.Shard(i)
 	c.Requests.Add(1)
 	c.BytesRequested.Add(size)
@@ -122,7 +136,23 @@ func (s *Stats) ObserveAccess(i int, size int64, hit bool, usedBytes, evictions 
 	}
 	c.UsedBytes.Store(usedBytes)
 	c.Evictions.Store(evictions)
-	s.lat.Observe(lat)
+}
+
+// ObserveBatch records a batch of n accesses routed to shard i with hits
+// of them hitting, bytesReq/bytesHit the summed request/hit bytes, and
+// the shard's post-batch occupancy and cumulative eviction count. One
+// call per batch replaces n ObserveAccess calls: the totals are
+// identical (sums commute) and the gauges end on the same final values
+// a per-access replay would store, which is what keeps batched counters
+// byte-identical to the serial path.
+func (s *Stats) ObserveBatch(i int, n, hits int64, bytesReq, bytesHit, usedBytes, evictions int64) {
+	c := s.Shard(i)
+	c.Requests.Add(n)
+	c.BytesRequested.Add(bytesReq)
+	c.Hits.Add(hits)
+	c.BytesHit.Add(bytesHit)
+	c.UsedBytes.Store(usedBytes)
+	c.Evictions.Store(evictions)
 }
 
 // Reset zeroes every counter and histogram bucket.

@@ -22,9 +22,9 @@ func TestCountersPadding(t *testing.T) {
 
 func TestObserveAccessAndSnapshot(t *testing.T) {
 	s := New(2)
-	s.ObserveAccess(0, 100, true, 500, 3, time.Microsecond)
-	s.ObserveAccess(0, 50, false, 550, 4, time.Microsecond)
-	s.ObserveAccess(1, 200, false, 200, 0, time.Microsecond)
+	s.ObserveAccess(0, 100, true, 500, 3)
+	s.ObserveAccess(0, 50, false, 550, 4)
+	s.ObserveAccess(1, 200, false, 200, 0)
 	snap := s.Snapshot()
 	c0 := snap.Shards[0]
 	if c0.Requests != 2 || c0.Hits != 1 || c0.BytesRequested != 150 || c0.BytesHit != 100 {
@@ -44,17 +44,95 @@ func TestObserveAccessAndSnapshot(t *testing.T) {
 	if br := snap.ByteMissRatio(); br != wantByte {
 		t.Fatalf("ByteMissRatio = %g, want %g", br, wantByte)
 	}
-	if n := snap.LatencySamples(); n != 3 {
-		t.Fatalf("LatencySamples = %d", n)
+	// ObserveAccess is counters-only: latency is decoupled (observed by
+	// the caller via LatencyTicker or Histogram.Observe), so no clock is
+	// read and no samples appear here.
+	if n := snap.LatencySamples(); n != 0 {
+		t.Fatalf("LatencySamples = %d, want 0 (counters-only path)", n)
+	}
+}
+
+// TestObserveBatchMatchesSerial: a single ObserveBatch call must leave
+// the counter block byte-identical to the equivalent sequence of
+// ObserveAccess calls — the invariant the batched shard access path
+// rests on.
+func TestObserveBatchMatchesSerial(t *testing.T) {
+	serial, batched := New(2), New(2)
+	accesses := []struct {
+		size int64
+		hit  bool
+	}{{100, false}, {100, true}, {50, false}, {100, true}, {70, false}}
+	var n, hits, bytesReq, bytesHit int64
+	used, ev := int64(320), int64(2) // arbitrary final gauge values
+	for i, a := range accesses {
+		// The serial path stores intermediate gauge values; only the
+		// final store survives, which is what ObserveBatch replicates.
+		serial.ObserveAccess(1, a.size, a.hit, int64(10*i), int64(i))
+		n++
+		bytesReq += a.size
+		if a.hit {
+			hits++
+			bytesHit += a.size
+		}
+	}
+	serial.Shard(1).UsedBytes.Store(used)
+	serial.Shard(1).Evictions.Store(ev)
+	batched.ObserveBatch(1, n, hits, bytesReq, bytesHit, used, ev)
+	if s, b := serial.Snapshot(), batched.Snapshot(); s.Shards[1] != b.Shards[1] {
+		t.Fatalf("batched counters diverge:\nserial  %+v\nbatched %+v", s.Shards[1], b.Shards[1])
+	}
+}
+
+// TestObserveNAttributesMeanLatency: ObserveN(d, n) must add n samples
+// of d/n each and d to the sum, so batched runs keep sample counts and
+// sums comparable to per-request runs.
+func TestObserveNAttributesMeanLatency(t *testing.T) {
+	var h Histogram
+	h.ObserveN(8*time.Microsecond, 4)
+	if got := h.buckets[bucketFor(2*time.Microsecond)].Load(); got != 4 {
+		t.Fatalf("mean bucket count = %d, want 4", got)
+	}
+	if got := h.sum.Load(); got != 8000 {
+		t.Fatalf("sum = %d, want 8000", got)
+	}
+	h.ObserveN(time.Second, 0) // n<=0 is a no-op
+	if got := h.sum.Load(); got != 8000 {
+		t.Fatalf("sum after no-op = %d, want 8000", got)
+	}
+}
+
+// TestLatencyTicker: one Tick per request feeds exactly one sample, a
+// TickN(n) feeds n, and the nil-histogram ticker (the -nolat opt-out)
+// records nothing.
+func TestLatencyTicker(t *testing.T) {
+	s := New(1)
+	tick := NewLatencyTicker(s.Latency())
+	tick.Start()
+	for i := 0; i < 5; i++ {
+		tick.Tick()
+	}
+	tick.TickN(3)
+	if n := s.Snapshot().LatencySamples(); n != 8 {
+		t.Fatalf("samples = %d, want 8", n)
+	}
+	off := NewLatencyTicker(nil)
+	off.Start()
+	off.Tick()
+	off.TickN(4)
+	if n := s.Snapshot().LatencySamples(); n != 8 {
+		t.Fatalf("nil ticker recorded samples: %d", n)
 	}
 }
 
 func TestSnapshotSubIsIntervalDelta(t *testing.T) {
 	s := New(1)
-	s.ObserveAccess(0, 10, true, 10, 0, time.Microsecond)
+	s.ObserveAccess(0, 10, true, 10, 0)
+	s.Latency().Observe(time.Microsecond)
 	prev := s.Snapshot()
-	s.ObserveAccess(0, 10, false, 20, 1, time.Microsecond)
-	s.ObserveAccess(0, 10, false, 30, 2, time.Microsecond)
+	s.ObserveAccess(0, 10, false, 20, 1)
+	s.Latency().Observe(time.Microsecond)
+	s.ObserveAccess(0, 10, false, 30, 2)
+	s.Latency().Observe(time.Microsecond)
 	d := s.Snapshot().Sub(prev)
 	c := d.Shards[0]
 	if c.Requests != 2 || c.Hits != 0 || c.BytesRequested != 20 {
@@ -77,7 +155,7 @@ func TestSnapshotSubIsIntervalDelta(t *testing.T) {
 func TestOccupancyAndRequestSkew(t *testing.T) {
 	s := New(4)
 	for i := 0; i < 4; i++ {
-		s.ObserveAccess(i, 10, false, 100, 0, time.Microsecond)
+		s.ObserveAccess(i, 10, false, 100, 0)
 	}
 	snap := s.Snapshot()
 	if sk := snap.OccupancySkew(); sk != 1 {
@@ -86,7 +164,7 @@ func TestOccupancyAndRequestSkew(t *testing.T) {
 	if sk := snap.RequestSkew(); sk != 1 {
 		t.Fatalf("balanced request skew = %g, want 1", sk)
 	}
-	s.ObserveAccess(0, 10, false, 700, 0, time.Microsecond)
+	s.ObserveAccess(0, 10, false, 700, 0)
 	snap = s.Snapshot()
 	// used: 700,100,100,100 -> mean 250, max 700 -> 2.8
 	if sk := snap.OccupancySkew(); sk != 2.8 {
@@ -148,7 +226,8 @@ func TestLatencyQuantiles(t *testing.T) {
 
 func TestResetClears(t *testing.T) {
 	s := New(2)
-	s.ObserveAccess(1, 10, true, 10, 1, time.Microsecond)
+	s.ObserveAccess(1, 10, true, 10, 1)
+	s.Latency().Observe(time.Microsecond)
 	s.Reset()
 	snap := s.Snapshot()
 	if snap.Totals() != (ShardSnapshot{}) {
@@ -185,8 +264,13 @@ func TestConcurrentObserve(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			// Each worker owns a LatencyTicker, the one-clock-read
+			// scheme the load drivers use.
+			tick := NewLatencyTicker(s.Latency())
+			tick.Start()
 			for i := 0; i < perW; i++ {
-				s.ObserveAccess((w+i)%shards, 1, i%2 == 0, 64, int64(i), time.Microsecond)
+				s.ObserveAccess((w+i)%shards, 1, i%2 == 0, 64, int64(i))
+				tick.Tick()
 			}
 		}(w)
 	}

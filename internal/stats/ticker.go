@@ -1,0 +1,70 @@
+package stats
+
+import "time"
+
+// LatencyTicker turns completion timestamps into latency samples with
+// one clock read per request instead of the two (start + end) a naive
+// stopwatch costs. It exploits the closed-loop structure of the load
+// drivers: a worker issues its next request the moment the previous one
+// completes, so the completion timestamp of request N is the start
+// timestamp of request N+1 — the single post-completion time.Now() is
+// reused as the next request's start ("reuse the timestamp" — PR 2
+// measured the old 2-read scheme at ~150 ns/access, dominated by the
+// clock reads).
+//
+// The measured quantity is per-worker inter-completion time, which in a
+// closed loop with no think time equals the end-to-end request latency
+// (policy access + lock wait or actor queueing). It is NOT meaningful
+// for open-loop callers with idle gaps between requests — a daemon
+// serving sparse traffic must time each request individually (scip-serve
+// does, gated by -nolat) rather than use a ticker.
+//
+// A LatencyTicker is single-goroutine: each worker owns one. The zero
+// value with a nil histogram is a no-op ticker (the -nolat opt-out) that
+// never reads the clock.
+type LatencyTicker struct {
+	h    *Histogram
+	prev time.Time
+}
+
+// NewLatencyTicker returns a ticker feeding h. A nil h disables the
+// ticker entirely — Start/Tick/TickN become free no-ops, which is how
+// the -nolat flag removes every per-request clock read.
+func NewLatencyTicker(h *Histogram) LatencyTicker {
+	return LatencyTicker{h: h}
+}
+
+// Start anchors the first interval at now. Call it immediately before
+// the worker's first request (and again after any pause that should not
+// be attributed to the next request).
+func (t *LatencyTicker) Start() {
+	if t.h == nil {
+		return
+	}
+	t.prev = time.Now()
+}
+
+// Tick records the completion of one request: a single clock read whose
+// delta from the previous tick (or Start) is observed as the request's
+// latency.
+func (t *LatencyTicker) Tick() {
+	if t.h == nil {
+		return
+	}
+	now := time.Now()
+	t.h.Observe(now.Sub(t.prev))
+	t.prev = now
+}
+
+// TickN records the completion of a batch of n requests: a single clock
+// read, with each request attributed the mean per-request latency of
+// the batch (Histogram.ObserveN). The sample count still advances by n,
+// so quantiles stay comparable across batched and per-request runs.
+func (t *LatencyTicker) TickN(n int) {
+	if t.h == nil || n <= 0 {
+		return
+	}
+	now := time.Now()
+	t.h.ObserveN(now.Sub(t.prev), n)
+	t.prev = now
+}
