@@ -10,9 +10,9 @@ GO ?= go
 # listed here so `make vet` covers it.
 VET_TAGS ?=
 
-.PHONY: check fmt-check vet lint build test test-race examples docs-check fuzz bench bench-kernels bench-figures bench-scale load
+.PHONY: check fmt-check vet lint build test test-race examples docs-check golden-equiv fuzz bench bench-kernels bench-figures bench-scale load
 
-check: fmt-check vet lint build test test-race examples docs-check
+check: fmt-check vet lint build test test-race examples docs-check golden-equiv
 
 # gofmt -s also demands the simplified forms (composite-literal elision,
 # range cleanups), not just canonical spacing.
@@ -58,6 +58,15 @@ examples:
 docs-check:
 	$(GO) test -run TestDocsLinks .
 	$(GO) run ./cmd/scip-vet ./internal/...
+
+# golden-equiv replays the goldened figures with every SCIP construction
+# swapped for a zro-only scorer pipeline (internal/admission/scorer) and
+# asserts byte-identity against the committed goldens: the decomposed
+# admission pipeline must reproduce the monolith exactly. Runs as part
+# of `make test` too (it is an ordinary test); the named target gives CI
+# and humans a direct handle on the equivalence contract.
+golden-equiv:
+	$(GO) test ./internal/exp/ -run TestScorerGoldenEquivalence -count 1
 
 # Short fuzz pass over the analysis fixture-comment parser.
 fuzz:

@@ -1,6 +1,7 @@
 // Command scip-load is a closed-loop concurrent load harness for the
 // sharded cache front: it replays a trace partitioned across N worker
-// goroutines against a sharded policy (SCIP, SCI, LRU, LRB), prints live
+// goroutines against a sharded policy (SCIP, SCI, LRU, LRB, 2Q,
+// TinyLFU, AdaptSize, or a composable "scorer:" admission spec), prints live
 // interval snapshots (request rate, object and byte miss ratio, per-shard
 // occupancy, p50/p99 access latency) and writes a final JSON report in the
 // BENCH.json artefact style.
@@ -40,6 +41,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/scip-cache/scip/internal/admission/scorer"
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/gen"
 	"github.com/scip-cache/scip/internal/runner"
@@ -190,7 +192,7 @@ func main() {
 	tracePath := flag.String("trace", "", "replay this trace file instead of generating one")
 	csv := flag.Bool("csv", false, "trace file is time,key,size CSV")
 	lrbFmt := flag.Bool("lrb", false, "trace file is LRB-format")
-	policy := flag.String("policy", "SCIP", "sharded policy: SCIP, SCI, LRU or LRB")
+	policy := flag.String("policy", "SCIP", "sharded policy: SCIP, SCI, LRU, LRB, 2Q, TinyLFU, AdaptSize or a scorer: spec")
 	cacheSize := flag.String("cache", "", "cache capacity (KiB/MiB/GiB suffixes); default: profile's paper-scaled size")
 	shards := flag.Int("shards", 8, "shard count (rounded up to a power of two)")
 	workers := flag.Int("workers", 0, "concurrent workers (0 = GOMAXPROCS, clamped to the shard count)")
@@ -364,9 +366,13 @@ func runScaleBench(tr *trace.Trace, policy string, capBytes int64, shards int, s
 		{"actor", shard.ModeActor, batch},
 	}
 
+	label := strings.ToUpper(policy)
+	if scorer.IsSpec(policy) {
+		label = policy // scorer specs are case-sensitive display names
+	}
 	rep := sim.ScaleReport{
 		Trace:      tr.Name,
-		Policy:     strings.ToUpper(policy),
+		Policy:     label,
 		CacheBytes: capBytes,
 		Shards:     shards,
 		Requests:   len(tr.Requests),

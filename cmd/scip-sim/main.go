@@ -7,7 +7,9 @@
 //
 // Policies: SCIP, SCI, LRU, LIP, BIP, DIP, PIPP, DTA, SHiP, DGIPPR,
 // DAAIP, ASC-IP, LRU-K, S4LRU, SS-LRU, GDSF, LHD, ARC, LIRS, LeCaR,
-// CACHEUS, GL-Cache, LRB, 2Q, TinyLFU, AdaptSize, Belady.
+// CACHEUS, GL-Cache, LRB, 2Q, TinyLFU, AdaptSize, Belady, plus
+// composable admission mixes via "scorer:" specs, e.g.
+// -policy scorer:zro=0.6,size=0.2,freq=0.2 (see internal/admission/scorer).
 package main
 
 import (
@@ -17,6 +19,7 @@ import (
 	"strings"
 
 	"github.com/scip-cache/scip/internal/admission"
+	"github.com/scip-cache/scip/internal/admission/scorer"
 	"github.com/scip-cache/scip/internal/belady"
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/core"
@@ -28,6 +31,9 @@ import (
 )
 
 func buildPolicy(name string, capBytes int64, seed int64, tr *trace.Trace) (cache.Policy, error) {
+	if scorer.IsSpec(name) {
+		return scorer.FromSpec(name, capBytes, seed)
+	}
 	switch strings.ToUpper(name) {
 	case "SCIP":
 		return core.NewCache(capBytes, core.WithSeed(seed)), nil

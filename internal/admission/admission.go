@@ -36,7 +36,10 @@ const (
 	twoQAm   = 1
 )
 
-var _ cache.Policy = (*TwoQ)(nil)
+var (
+	_ cache.Policy  = (*TwoQ)(nil)
+	_ cache.Remover = (*TwoQ)(nil)
+)
 
 // NewTwoQ returns a 2Q cache.
 func NewTwoQ(capBytes int64) *TwoQ {
@@ -76,7 +79,7 @@ func (q *TwoQ) Access(req cache.Request) bool {
 		return false
 	}
 	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time}
-	if _, wasOut := q.a1out.Delete(req.Key); wasOut {
+	if _, wasOut := q.ghost().Delete(req.Key); wasOut {
 		// Re-referenced after probation: admit to the long-term queue.
 		e.Class = twoQAm
 		q.am.PushFront(e)
@@ -89,15 +92,28 @@ func (q *TwoQ) Access(req cache.Request) bool {
 	return false
 }
 
+// ghost syncs the A1out budget to the live KoutFrac before returning the
+// list. KinFrac has always been read live in evictToFit; KoutFrac used to
+// be baked in by NewTwoQ, so mutating the exported field was silently
+// ignored. Routing every A1out touch through this accessor makes both
+// knobs behave the same way.
+func (q *TwoQ) ghost() *cache.History {
+	if want := int64(q.KoutFrac * float64(q.cap)); want != q.a1out.Capacity() {
+		q.a1out.SetCapacity(want)
+	}
+	return q.a1out
+}
+
 func (q *TwoQ) evictToFit() {
 	// A1in is a fixed-size probation FIFO: overflow spills into the
 	// ghost even while the cache as a whole has room (original 2Q).
 	kin := int64(q.KinFrac * float64(q.cap))
+	ghost := q.ghost()
 	for q.a1in.Bytes() > kin {
 		victim := q.a1in.Back()
 		q.a1in.Remove(victim)
 		delete(q.index, victim.Key)
-		q.a1out.Add(victim.Key, victim.Size, cache.ResInserted)
+		ghost.Add(victim.Key, victim.Size, cache.ResInserted)
 	}
 	for q.Used() > q.cap {
 		victim := q.am.Back()
@@ -105,7 +121,7 @@ func (q *TwoQ) evictToFit() {
 			victim = q.a1in.Back()
 			q.a1in.Remove(victim)
 			delete(q.index, victim.Key)
-			q.a1out.Add(victim.Key, victim.Size, cache.ResInserted)
+			ghost.Add(victim.Key, victim.Size, cache.ResInserted)
 			continue
 		}
 		q.am.Remove(victim)
@@ -113,65 +129,26 @@ func (q *TwoQ) evictToFit() {
 	}
 }
 
+// Remove implements cache.Remover. Invalidation is an operator action,
+// not an eviction: the victim must not enter the A1out ghost — a later
+// re-reference would be admitted straight to Am as if the object had
+// proved itself through probation.
+func (q *TwoQ) Remove(key uint64) bool {
+	e, ok := q.index[key]
+	if !ok {
+		return false
+	}
+	if e.Class == twoQAm {
+		q.am.Remove(e)
+	} else {
+		q.a1in.Remove(e)
+	}
+	delete(q.index, key)
+	return true
+}
+
 // ---------------------------------------------------------------------------
 // TinyLFU
-
-// sketch is a 4-row count-min sketch with 4-bit conceptual counters
-// (stored as int8, halved periodically — TinyLFU's aging).
-type sketch struct {
-	rows    [4][]int8
-	mask    uint64
-	samples int
-	window  int
-}
-
-func newSketch(counters int) *sketch {
-	size := 1
-	for size < counters {
-		size <<= 1
-	}
-	s := &sketch{mask: uint64(size - 1), window: counters * 8}
-	for i := range s.rows {
-		s.rows[i] = make([]int8, size)
-	}
-	return s
-}
-
-func (s *sketch) idx(row int, key uint64) uint64 {
-	h := key * 0x9E3779B97F4A7C15
-	return (h >> (8 * row)) & s.mask
-}
-
-// Add records one access and ages the sketch when the sample window
-// fills.
-func (s *sketch) Add(key uint64) {
-	for r := range s.rows {
-		i := s.idx(r, key)
-		if s.rows[r][i] < 15 {
-			s.rows[r][i]++
-		}
-	}
-	s.samples++
-	if s.samples >= s.window {
-		s.samples /= 2
-		for r := range s.rows {
-			for i := range s.rows[r] {
-				s.rows[r][i] /= 2
-			}
-		}
-	}
-}
-
-// Estimate returns the minimum counter across rows.
-func (s *sketch) Estimate(key uint64) int {
-	est := 16
-	for r := range s.rows {
-		if v := int(s.rows[r][s.idx(r, key)]); v < est {
-			est = v
-		}
-	}
-	return est
-}
 
 // TinyLFU is the W-TinyLFU cache: a small LRU window in front of a main
 // SLRU, with a frequency sketch arbitrating admission from the window
@@ -183,7 +160,7 @@ type TinyLFU struct {
 	window cache.Queue // ~1% of capacity
 	main   cache.Queue // SLRU approximated as one LRU (protection via admission)
 	index  map[uint64]*cache.Entry
-	sk     *sketch
+	sk     *Sketch
 }
 
 // Entry.Class values for TinyLFU regions.
@@ -192,7 +169,10 @@ const (
 	tlfuMain   = 1
 )
 
-var _ cache.Policy = (*TinyLFU)(nil)
+var (
+	_ cache.Policy  = (*TinyLFU)(nil)
+	_ cache.Remover = (*TinyLFU)(nil)
+)
 
 // NewTinyLFU returns a W-TinyLFU cache.
 func NewTinyLFU(capBytes int64) *TinyLFU {
@@ -204,7 +184,7 @@ func NewTinyLFU(capBytes int64) *TinyLFU {
 		name:  "TinyLFU",
 		cap:   capBytes,
 		index: make(map[uint64]*cache.Entry),
-		sk:    newSketch(counters),
+		sk:    NewSketch(counters),
 	}
 }
 
@@ -280,6 +260,23 @@ func (t *TinyLFU) admit(cand *cache.Entry) {
 	t.main.PushFront(cand)
 }
 
+// Remove implements cache.Remover. The frequency sketch is left alone:
+// invalidation says nothing about the object's popularity, and decaying
+// its counters would handicap the object in a future admission duel.
+func (t *TinyLFU) Remove(key uint64) bool {
+	e, ok := t.index[key]
+	if !ok {
+		return false
+	}
+	if e.Class == tlfuMain {
+		t.main.Remove(e)
+	} else {
+		t.window.Remove(e)
+	}
+	delete(t.index, key)
+	return true
+}
+
 // ---------------------------------------------------------------------------
 // AdaptSize
 
@@ -303,7 +300,10 @@ type AdaptSize struct {
 	prevRate float64
 }
 
-var _ cache.Policy = (*AdaptSize)(nil)
+var (
+	_ cache.Policy  = (*AdaptSize)(nil)
+	_ cache.Remover = (*AdaptSize)(nil)
+)
 
 // NewAdaptSize returns an AdaptSize-filtered LRU cache.
 func NewAdaptSize(capBytes int64, seed int64) *AdaptSize {
@@ -329,23 +329,38 @@ func (a *AdaptSize) Used() int64 { return a.inner.Used() }
 // C exposes the admission size parameter for tests.
 func (a *AdaptSize) C() float64 { return a.c }
 
-// Access implements cache.Policy.
+// LastIntervalRate exposes the hit rate of the last completed tuning
+// interval for tests and diagnostics.
+func (a *AdaptSize) LastIntervalRate() float64 { return a.prevRate }
+
+// Access implements cache.Policy. The request is classified (and its hit
+// counted) before any boundary tune() fires: each interval's rate must
+// divide exactly Interval classified requests by Interval, with the
+// boundary request's own outcome included rather than leaking into the
+// next window.
 func (a *AdaptSize) Access(req cache.Request) bool {
 	a.reqs++
+	hit := a.inner.Contains(req.Key)
+	if hit {
+		a.hits++
+		a.inner.Access(req)
+	} else if math.Exp(-float64(req.Size)/a.c) >= a.rng.Float64() {
+		// Admission filter: large objects are admitted with exponentially
+		// decreasing probability.
+		a.inner.Access(req)
+	}
 	if a.reqs%a.Interval == 0 {
 		a.tune()
 	}
-	if a.inner.Contains(req.Key) {
-		a.hits++
-		a.inner.Access(req)
-		return true
-	}
-	// Admission filter: large objects are admitted with exponentially
-	// decreasing probability.
-	if math.Exp(-float64(req.Size)/a.c) >= a.rng.Float64() {
-		a.inner.Access(req)
-	}
-	return false
+	return hit
+}
+
+// Remove implements cache.Remover by delegating to the inner LRU, whose
+// Remove already carries the required semantics: no eviction counter, no
+// learning signal. The admission tuning state (c, interval counters) is
+// untouched — invalidation is not evidence about object sizes.
+func (a *AdaptSize) Remove(key uint64) bool {
+	return a.inner.Remove(key)
 }
 
 // tune hill-climbs c on the interval hit rate.

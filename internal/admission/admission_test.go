@@ -83,7 +83,7 @@ func TestTwoQProbationAndPromotion(t *testing.T) {
 }
 
 func TestSketchCountsAndAges(t *testing.T) {
-	s := newSketch(1024)
+	s := NewSketch(1024)
 	for i := 0; i < 10; i++ {
 		s.Add(42)
 	}
@@ -95,7 +95,7 @@ func TestSketchCountsAndAges(t *testing.T) {
 	}
 	// Aging halves counters.
 	before := s.Estimate(42)
-	for i := 0; i < s.window; i++ {
+	for i := 0; i < s.Window(); i++ {
 		s.Add(uint64(1000 + i))
 	}
 	if s.Estimate(42) >= before {

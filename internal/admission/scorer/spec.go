@@ -1,0 +1,133 @@
+package scorer
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/scip-cache/scip/internal/cache"
+)
+
+// SpecPrefix marks a policy string as a scorer-pipeline spec.
+const SpecPrefix = "scorer:"
+
+// IsSpec reports whether the policy string is a scorer spec
+// (case-insensitive prefix match, so CLIs that upper-case policy names
+// can test before normalising).
+func IsSpec(policy string) bool {
+	return len(policy) >= len(SpecPrefix) && strings.EqualFold(policy[:len(SpecPrefix)], SpecPrefix)
+}
+
+// ParseSpec parses a "scorer:" policy spec into a Config plus the mode
+// fields that sit outside it. The grammar is a comma-separated list of
+// key=value pairs after the prefix:
+//
+//	scorer:zro=1,size=0.5,freq=0.3,ghost=0.2,reuse=0.4,
+//	       mode=placement|filter,theta=0.8,tune=on|off,
+//	       interval=50000,c=8192,ghostfrac=0.5,name=MyMix
+//
+// Scorer keys give initial mixer weights (at least one must be
+// positive). mode defaults to placement; theta (filter mode only)
+// defaults to -1, the probabilistic score >= u rule; tune defaults to
+// on. Seed and capacity are runtime inputs, not spec fields.
+func ParseSpec(spec string) (cfg Config, mode string, theta float64, err error) {
+	if !IsSpec(spec) {
+		return cfg, "", 0, fmt.Errorf("scorer: spec %q lacks the %q prefix", spec, SpecPrefix)
+	}
+	mode, theta = "placement", -1
+	cfg.Tune = true
+	for _, kv := range strings.Split(spec[len(SpecPrefix):], ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			// A bare scorer name means weight 1.
+			k, v = kv, "1"
+		}
+		k = strings.ToLower(strings.TrimSpace(k))
+		v = strings.TrimSpace(v)
+		num := func() (float64, error) {
+			f, ferr := strconv.ParseFloat(v, 64)
+			if ferr != nil {
+				return 0, fmt.Errorf("scorer: bad value %q for %q in spec %q", v, k, spec)
+			}
+			return f, nil
+		}
+		switch k {
+		case "zro":
+			cfg.ZRO, err = num()
+		case "size":
+			cfg.Size, err = num()
+		case "freq":
+			cfg.Freq, err = num()
+		case "ghost":
+			cfg.Ghost, err = num()
+		case "reuse":
+			cfg.Reuse, err = num()
+		case "theta":
+			theta, err = num()
+		case "c":
+			cfg.C, err = num()
+		case "ghostfrac":
+			cfg.GhostFrac, err = num()
+		case "interval":
+			var f float64
+			f, err = num()
+			cfg.Interval = int(f)
+		case "mode":
+			mode = strings.ToLower(v)
+			if mode != "placement" && mode != "filter" {
+				err = fmt.Errorf("scorer: unknown mode %q in spec %q", v, spec)
+			}
+		case "tune":
+			switch strings.ToLower(v) {
+			case "on", "true", "1":
+				cfg.Tune = true
+			case "off", "false", "0":
+				cfg.Tune = false
+			default:
+				err = fmt.Errorf("scorer: bad tune value %q in spec %q", v, spec)
+			}
+		case "name":
+			cfg.Name = v
+		default:
+			err = fmt.Errorf("scorer: unknown key %q in spec %q", k, spec)
+		}
+		if err != nil {
+			return cfg, "", 0, err
+		}
+	}
+	if cfg.ZRO <= 0 && cfg.Size <= 0 && cfg.Freq <= 0 && cfg.Ghost <= 0 && cfg.Reuse <= 0 {
+		return cfg, "", 0, fmt.Errorf("scorer: spec %q selects no scorers", spec)
+	}
+	return cfg, mode, theta, nil
+}
+
+// FromSpec builds the cache.Policy a "scorer:" spec describes. The
+// policy's display name defaults to the spec string itself so experiment
+// tables identify the exact mix.
+func FromSpec(spec string, capBytes, seed int64) (cache.Policy, error) {
+	cfg, mode, theta, err := ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Seed = seed
+	name := cfg.Name
+	if name == "" {
+		name = spec
+	}
+	if mode == "filter" {
+		f, ferr := NewFilter(name, capBytes, theta, cfg)
+		if ferr != nil {
+			return nil, ferr
+		}
+		return f, nil
+	}
+	c, cerr := NewCache(name, capBytes, cfg)
+	if cerr != nil {
+		return nil, cerr
+	}
+	return c, nil
+}

@@ -23,6 +23,8 @@ var DetrandPaths = []string{
 	"internal/lrb",
 	"internal/ml",
 	"internal/replacement",
+	"internal/admission/scorer",
+	"internal/zro",
 }
 
 // Applies reports whether analyzer a runs over the package at pkgPath.

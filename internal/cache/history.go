@@ -20,6 +20,19 @@ func NewHistory(capBytes int64) *History {
 // Capacity returns the byte budget.
 func (h *History) Capacity() int64 { return h.cap }
 
+// SetCapacity rebudgets the list to capBytes, dropping the oldest
+// records until the new budget is respected. Policies whose ghost
+// fraction is an exported live knob (TwoQ.KoutFrac) call this when the
+// knob changes after construction.
+func (h *History) SetCapacity(capBytes int64) {
+	h.cap = capBytes
+	for h.q.Bytes() > h.cap {
+		old := h.q.Back()
+		h.q.Remove(old)
+		delete(h.index, old.Key)
+	}
+}
+
 // Bytes returns the bytes of metadata-tracked objects currently recorded.
 func (h *History) Bytes() int64 { return h.q.Bytes() }
 

@@ -424,15 +424,59 @@ func (s *SCIP) OnAccess(req cache.Request, hit bool) {
 	}
 }
 
-// ChooseInsert implements the bimodal insertion for missing objects,
-// honouring the per-object adjustment when the object was just found in a
-// history list.
-func (s *SCIP) ChooseInsert(req cache.Request) cache.Position {
+// InsertScore returns SCIP's MRU-insertion probability for a missing
+// object, split from the random draw so composed policies (the scorer
+// pipeline) can mix the probability with other signals before deciding.
+// forced reports the per-object §3.2 adjustment, in which case the score
+// is exactly 0 or 1 and no randomness should be consumed. Calling
+// InsertScore consumes the one-shot forced flag exactly as ChooseInsert
+// does, so it must be called once per miss.
+func (s *SCIP) InsertScore(req cache.Request) (score float64, forced bool) {
 	if s.forcedActive {
 		s.forcedActive = false
-		return s.forcedPos
+		if s.forcedPos == cache.MRU {
+			return 1, true
+		}
+		return 0, true
 	}
-	return s.selectFrom(s.insW.pick(req.Size))
+	return s.insW.pick(req.Size).Weight(0), false
+}
+
+// PromoteScore is InsertScore's promotion-context counterpart. A forced
+// result (SCI mode, or a repeat-residency hit pinned to MRU) is always
+// score 1 and consumes no randomness.
+func (s *SCIP) PromoteScore(req cache.Request) (score float64, forced bool) {
+	repeat := s.pendingRepeatHit
+	s.pendingRepeatHit = false
+	if s.promoteMRU || repeat {
+		return 1, true
+	}
+	return s.proW.pick(req.Size).Weight(0), false
+}
+
+// Uniform draws from the instance PRNG. Exposed so a composed policy
+// consuming SCIP's scores draws from the same stream as the monolith —
+// the byte-identity of a zro-only scorer mix depends on the RNG
+// consumption sequence matching exactly.
+func (s *SCIP) Uniform() float64 { return s.rng.Float64() }
+
+// ChooseInsert implements the bimodal insertion for missing objects,
+// honouring the per-object adjustment when the object was just found in a
+// history list. The non-forced decision is score > u with one uniform
+// draw, the same predicate (and the same single draw) as
+// TwoExpert.Select.
+func (s *SCIP) ChooseInsert(req cache.Request) cache.Position {
+	p, forced := s.InsertScore(req)
+	if forced {
+		if p >= 1 {
+			return cache.MRU
+		}
+		return cache.LRU
+	}
+	if p > s.rng.Float64() {
+		return cache.MRU
+	}
+	return cache.LRU
 }
 
 // ChoosePromote treats promotion as a special insertion driven by the
@@ -441,16 +485,11 @@ func (s *SCIP) ChooseInsert(req cache.Request) cache.Position {
 // an object whose residency already began with a promotion is being hit
 // repeatedly and is pinned to MRU. For SCI every promotion is MRU.
 func (s *SCIP) ChoosePromote(req cache.Request) cache.Position {
-	repeat := s.pendingRepeatHit
-	s.pendingRepeatHit = false
-	if s.promoteMRU || repeat {
+	p, forced := s.PromoteScore(req)
+	if forced {
 		return cache.MRU
 	}
-	return s.selectFrom(s.proW.pick(req.Size))
-}
-
-func (s *SCIP) selectFrom(w *mab.TwoExpert) cache.Position {
-	if w.Select(s.rng.Float64()) == 0 {
+	if p > s.rng.Float64() {
 		return cache.MRU
 	}
 	return cache.LRU

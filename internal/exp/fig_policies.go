@@ -40,12 +40,27 @@ type policyBuilder struct {
 	build func(capBytes, seed int64, scale float64) cache.Policy
 }
 
+// buildSCIPCache constructs the monolithic SCIP cache every figure table
+// uses. It is a swappable hook: the scorer golden-equivalence test
+// (golden_equiv_test.go) replaces it with a zro-only scorer pipeline and
+// re-runs the goldened figures to prove the pipeline reproduces the
+// monolith byte-identically.
+var buildSCIPCache = func(capBytes, seed int64, interval int) cache.Policy {
+	return core.NewCache(capBytes, core.WithSeed(seed), core.WithInterval(interval))
+}
+
+// buildSCIPEnhancer constructs the SCIP insertion policy embedded in
+// LRU-K and LRB for Figure 12; swapped by the same equivalence test.
+var buildSCIPEnhancer = func(capBytes, seed int64, interval int) cache.InsertionPolicy {
+	return core.New(capBytes, core.WithSeed(seed), core.WithInterval(interval), core.ForEnhancement())
+}
+
 // insertionBaselines are Figure 8's competitors (all over LRU victim
 // selection).
 func insertionBaselines() []policyBuilder {
 	return []policyBuilder{
 		{"SCIP", func(c, s int64, sc float64) cache.Policy {
-			return core.NewCache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+			return buildSCIPCache(c, s, scaledInterval(sc))
 		}},
 		{"LIP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("LIP", c, policies.LIP{}) }},
 		{"DIP", func(c, s int64, _ float64) cache.Policy { return policies.NewCache("DIP", c, policies.NewDIP(c, s)) }},
@@ -62,7 +77,7 @@ func insertionBaselines() []policyBuilder {
 func replacementBaselines() []policyBuilder {
 	return []policyBuilder{
 		{"SCIP", func(c, s int64, sc float64) cache.Policy {
-			return core.NewCache(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)))
+			return buildSCIPCache(c, s, scaledInterval(sc))
 		}},
 		{"LRU", func(c, s int64, _ float64) cache.Policy { return cache.NewLRU(c) }},
 		{"LRU-K", func(c, s int64, _ float64) cache.Policy { return replacement.NewLRUK(c, s) }},
@@ -266,14 +281,14 @@ func runFig12(cfg Config) error {
 	variants := []policyBuilder{
 		{"LRU-K", func(c, s int64, _ float64) cache.Policy { return replacement.NewLRUK(c, s) }},
 		{"LRU-K-SCIP", func(c, s int64, sc float64) cache.Policy {
-			return replacement.NewLRUKWithInsertion(c, s, core.New(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement()))
+			return replacement.NewLRUKWithInsertion(c, s, buildSCIPEnhancer(c, s, scaledInterval(sc)))
 		}},
 		{"LRU-K-ASCIP", func(c, s int64, _ float64) cache.Policy {
 			return replacement.NewLRUKWithInsertion(c, s, policies.NewASCIP(c))
 		}},
 		{"LRB", func(c, s int64, _ float64) cache.Policy { return lrb.New(c, lrb.WithSeed(s)) }},
 		{"LRB-SCIP", func(c, s int64, sc float64) cache.Policy {
-			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(core.New(c, core.WithSeed(s), core.WithInterval(scaledInterval(sc)), core.ForEnhancement())))
+			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(buildSCIPEnhancer(c, s, scaledInterval(sc))))
 		}},
 		{"LRB-ASCIP", func(c, s int64, _ float64) cache.Policy {
 			return lrb.New(c, lrb.WithSeed(s), lrb.WithInsertion(policies.NewASCIP(c)))

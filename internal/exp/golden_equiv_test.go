@@ -1,0 +1,47 @@
+//go:build !race
+
+package exp
+
+import (
+	"testing"
+
+	"github.com/scip-cache/scip/internal/admission/scorer"
+	"github.com/scip-cache/scip/internal/cache"
+	"github.com/scip-cache/scip/internal/core"
+)
+
+// TestScorerGoldenEquivalence swaps every SCIP construction in the
+// figure tables for a zro-only scorer pipeline and replays the two
+// goldened figures that exercise SCIP (fig10 standalone, fig12 embedded
+// in LRU-K and LRB). Byte-identical output against the committed
+// goldens proves the decomposed pipeline reproduces the monolith's
+// decision stream exactly — the tentpole acceptance criterion. The
+// monolith builders are restored afterwards so the plain golden tests
+// keep pinning the original construction path.
+func TestScorerGoldenEquivalence(t *testing.T) {
+	origCache, origEnh := buildSCIPCache, buildSCIPEnhancer
+	defer func() { buildSCIPCache, buildSCIPEnhancer = origCache, origEnh }()
+
+	buildSCIPCache = func(capBytes, seed int64, interval int) cache.Policy {
+		c, err := scorer.NewCache("SCIP", capBytes, scorer.Config{
+			ZRO: 1, Seed: seed, Interval: interval, Tune: true,
+		})
+		if err != nil {
+			t.Fatalf("scorer cache: %v", err)
+		}
+		return c
+	}
+	buildSCIPEnhancer = func(capBytes, seed int64, interval int) cache.InsertionPolicy {
+		p, err := scorer.NewPipeline(capBytes, scorer.Config{
+			ZRO: 1, Seed: seed, Interval: interval, Tune: true, Name: "SCIP",
+			ZROOpts: []core.Option{core.ForEnhancement()},
+		})
+		if err != nil {
+			t.Fatalf("scorer pipeline: %v", err)
+		}
+		return p
+	}
+
+	runGolden(t, "fig10")
+	runGolden(t, "fig12")
+}

@@ -1,0 +1,80 @@
+package mab
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMultiExpertNormalizes(t *testing.T) {
+	m := NewMultiExpert([]float64{2, 1, 1})
+	sum := 0.0
+	for i := 0; i < m.N(); i++ {
+		sum += m.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("weights sum to %v, want 1", sum)
+	}
+	if m.Weight(0) != 0.5 {
+		t.Fatalf("w0 = %v, want 0.5", m.Weight(0))
+	}
+}
+
+// TestMultiExpertSingleArmExact pins the monolith-equivalence invariant:
+// with one expert the weight is exactly 1.0 (no floor clamp, no rounding
+// residue) and Decay is inert.
+func TestMultiExpertSingleArmExact(t *testing.T) {
+	m := NewMultiExpert([]float64{0.37})
+	if m.Weight(0) != 1.0 {
+		t.Fatalf("single weight = %v, want exactly 1.0", m.Weight(0))
+	}
+	for i := 0; i < 100; i++ {
+		m.Decay(0, 0.5)
+		if m.Weight(0) != 1.0 {
+			t.Fatalf("single weight drifted to %v after decay %d", m.Weight(0), i)
+		}
+	}
+}
+
+func TestMultiExpertDecayShiftsMass(t *testing.T) {
+	m := NewMultiExpert([]float64{1, 1})
+	for i := 0; i < 50; i++ {
+		m.Decay(0, 0.3)
+	}
+	if m.Weight(0) >= m.Weight(1) {
+		t.Fatalf("decayed arm not lighter: w = %v", m.Weights())
+	}
+	if m.Weight(0) < WeightFloor {
+		t.Fatalf("w0 = %v fell below the exploration floor %v", m.Weight(0), WeightFloor)
+	}
+	sum := m.Weight(0) + m.Weight(1)
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v after decays", sum)
+	}
+}
+
+func TestMultiExpertFloorAllArms(t *testing.T) {
+	m := NewMultiExpert([]float64{1, 1, 1, 1})
+	// Hammer three arms; none may pin to zero and the sum stays 1.
+	for i := 0; i < 500; i++ {
+		m.Decay(i%3, 1.0)
+	}
+	sum := 0.0
+	for i := 0; i < m.N(); i++ {
+		if m.Weight(i) < WeightFloor-1e-12 {
+			t.Fatalf("arm %d = %v below floor", i, m.Weight(i))
+		}
+		sum += m.Weight(i)
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("weights sum to %v", sum)
+	}
+}
+
+func TestMultiExpertDegenerateInit(t *testing.T) {
+	m := NewMultiExpert([]float64{0, -3, 0})
+	for i := 0; i < m.N(); i++ {
+		if w := m.Weight(i); math.Abs(w-1.0/3) > 1e-12 {
+			t.Fatalf("arm %d = %v, want uniform 1/3", i, w)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 
+	"github.com/scip-cache/scip/internal/admission"
+	"github.com/scip-cache/scip/internal/admission/scorer"
 	"github.com/scip-cache/scip/internal/cache"
 	"github.com/scip-cache/scip/internal/core"
 	"github.com/scip-cache/scip/internal/lrb"
@@ -11,15 +13,32 @@ import (
 )
 
 // BuildSharded returns a sharded cache front for one of the
-// concurrency-ready policies (SCIP, SCI, LRU, LRB). Each shard gets its
-// own single-threaded policy instance seeded by seed + shard index, so a
-// given (policy, capacity, shards, seed) tuple always produces the same
-// decision stream — the property the scip-load and scip-serve
-// comparisons rest on. Both commands build their cache through this one
-// function. opts selects the shard concurrency configuration
-// (shard.WithMode, shard.WithActorDepth); the decision stream is
-// identical in every mode.
+// concurrency-ready policies (SCIP, SCI, LRU, LRB, 2Q, TinyLFU,
+// AdaptSize) or a composable "scorer:" admission spec (see
+// internal/admission/scorer). Each shard gets its own single-threaded
+// policy instance seeded by seed + shard index, so a given (policy,
+// capacity, shards, seed) tuple always produces the same decision
+// stream — the property the scip-load and scip-serve comparisons rest
+// on. Both commands build their cache through this one function. opts
+// selects the shard concurrency configuration (shard.WithMode,
+// shard.WithActorDepth); the decision stream is identical in every
+// mode.
 func BuildSharded(policy string, capBytes int64, shards int, seed int64, opts ...shard.Option) (*shard.Cache, error) {
+	if scorer.IsSpec(policy) {
+		if _, _, _, err := scorer.ParseSpec(policy); err != nil {
+			return nil, err
+		}
+		build := func(b int64, s int) cache.Policy {
+			p, err := scorer.FromSpec(policy, b, seed+int64(s))
+			if err != nil {
+				// Unreachable: the spec was validated above and FromSpec
+				// has no other failure mode.
+				panic(err)
+			}
+			return p
+		}
+		return shard.New(fmt.Sprintf("%s-x%d", policy, shards), capBytes, shards, build, opts...)
+	}
 	var build shard.Builder
 	name := strings.ToUpper(policy)
 	switch name {
@@ -37,8 +56,16 @@ func BuildSharded(policy string, capBytes int64, shards int, seed int64, opts ..
 		build = func(b int64, s int) cache.Policy {
 			return lrb.New(b, lrb.WithSeed(seed+int64(s)))
 		}
+	case "2Q":
+		build = func(b int64, _ int) cache.Policy { return admission.NewTwoQ(b) }
+	case "TINYLFU":
+		build = func(b int64, _ int) cache.Policy { return admission.NewTinyLFU(b) }
+	case "ADAPTSIZE":
+		build = func(b int64, s int) cache.Policy {
+			return admission.NewAdaptSize(b, seed+int64(s))
+		}
 	default:
-		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU or LRB)", policy)
+		return nil, fmt.Errorf("unknown policy %q (want SCIP, SCI, LRU, LRB, 2Q, TinyLFU, AdaptSize or a scorer: spec)", policy)
 	}
 	return shard.New(fmt.Sprintf("%s-x%d", name, shards), capBytes, shards, build, opts...)
 }

@@ -140,6 +140,39 @@ func TestPutThenGetAndDelete(t *testing.T) {
 	}
 }
 
+// TestDeleteAcrossPolicies runs the full invalidation round trip —
+// PUT, GET hit, DELETE 204, GET miss, second DELETE 404 — over every
+// policy family that implements cache.Remover, including a composable
+// scorer pipeline in both placement and filter modes. Before the
+// admission policies grew Remove, DELETE on them answered 501.
+func TestDeleteAcrossPolicies(t *testing.T) {
+	for _, policy := range []string{
+		"SCIP", "2Q", "TinyLFU", "AdaptSize",
+		"scorer:zro=0.5,size=0.5",
+		"scorer:size=1,mode=filter,theta=0.9,c=1048576",
+	} {
+		t.Run(policy, func(t *testing.T) {
+			s := newTestServer(t, func(cfg *Config) { cfg.Policy = policy; cfg.CacheBytes = 1 << 22 })
+			h := s.Handler()
+			if rec := doReq(t, h, "PUT", "/obj/9", strings.NewReader("hello body")); rec.Code != http.StatusNoContent {
+				t.Fatalf("PUT status = %d", rec.Code)
+			}
+			if rec := doReq(t, h, "GET", "/obj/9?size=10", nil); rec.Header().Get("X-Cache") != "HIT" {
+				t.Fatalf("GET after PUT X-Cache = %q, want HIT", rec.Header().Get("X-Cache"))
+			}
+			if rec := doReq(t, h, "DELETE", "/obj/9", nil); rec.Code != http.StatusNoContent {
+				t.Fatalf("DELETE status = %d, want 204", rec.Code)
+			}
+			if rec := doReq(t, h, "DELETE", "/obj/9", nil); rec.Code != http.StatusNotFound {
+				t.Fatalf("second DELETE status = %d, want 404", rec.Code)
+			}
+			if rec := doReq(t, h, "GET", "/obj/9?size=10", nil); rec.Header().Get("X-Cache") != "MISS" {
+				t.Fatalf("GET after DELETE X-Cache = %q, want MISS", rec.Header().Get("X-Cache"))
+			}
+		})
+	}
+}
+
 func TestDeleteUnsupportedPolicy(t *testing.T) {
 	s := newTestServer(t, func(cfg *Config) { cfg.Policy = "LRB"; cfg.CacheBytes = 1 << 22 })
 	h := s.Handler()
