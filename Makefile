@@ -10,7 +10,7 @@ GO ?= go
 # listed here so `make vet` covers it.
 VET_TAGS ?=
 
-.PHONY: check fmt-check vet lint build test test-race examples docs-check golden-equiv fuzz bench bench-kernels bench-figures bench-scale load
+.PHONY: check fmt-check vet lint supps build test test-race examples docs-check golden-equiv fuzz bench bench-kernels bench-figures bench-scale load
 
 check: fmt-check vet lint build test test-race examples docs-check golden-equiv
 
@@ -29,10 +29,19 @@ vet:
 		$(GO) vet -tags "$$tags" ./... || exit 1; \
 	done
 
-# lint runs the repository's own determinism/concurrency analyzers
-# (see internal/analysis and DESIGN.md "Invariants").
+# lint runs the repository's own determinism/concurrency/allocation
+# analyzers (see internal/analysis and DESIGN.md "Invariants"): the
+# per-file syntactic checks plus the interprocedural hotalloc,
+# clocktaint, guardedby and arenalife passes, ending with the
+# suppression audit — a stale or unknown //scip: comment fails the run.
 lint:
 	$(GO) run ./cmd/scip-vet ./...
+
+# supps prints the //scip: suppression-and-annotation inventory
+# (file:line, token, live/STALE, justification) and exits 1 when any
+# suppression is stale.
+supps:
+	$(GO) run ./cmd/scip-vet -supps ./...
 
 build:
 	$(GO) build ./...
@@ -68,9 +77,12 @@ docs-check:
 golden-equiv:
 	$(GO) test ./internal/exp/ -run TestScorerGoldenEquivalence -count 1
 
-# Short fuzz pass over the analysis fixture-comment parser.
+# Short fuzz passes over the analysis fixture-comment parser and the
+# interprocedural call-graph builder (arbitrary parseable source must
+# never panic the module indexer or the flow analyzers).
 fuzz:
 	$(GO) test ./internal/analysis/ -run '^$$' -fuzz FuzzParseWant -fuzztime 30s
+	$(GO) test ./internal/analysis/ -run '^$$' -fuzz FuzzCallGraph -fuzztime 30s
 
 # Hot-path and per-figure micro benchmarks at reduced scale.
 bench:

@@ -98,7 +98,7 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat 
 
 	stop := make(chan struct{})
 	var reporter sync.WaitGroup
-	start := time.Now()
+	start := time.Now() //scip:wallclock-ok load-report metering: wall time of the replay, printed and written to JSON
 	if interval > 0 && out != nil {
 		reporter.Add(1)
 		go func() {
@@ -106,7 +106,7 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat 
 			tick := time.NewTicker(interval)
 			defer tick.Stop()
 			prev := st.Snapshot()
-			prevT := time.Now()
+			prevT := time.Now() //scip:wallclock-ok console metering: interval report timestamps
 			for {
 				select {
 				case <-stop:
@@ -179,7 +179,7 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat 
 		}(w)
 	}
 	wg.Wait()
-	elapsed := time.Since(start)
+	elapsed := time.Since(start) //scip:wallclock-ok load-report metering: wall time of the replay
 	close(stop)
 	reporter.Wait()
 	return st.Snapshot(), elapsed
@@ -303,7 +303,7 @@ func main() {
 	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *batch, *nolat, *interval, os.Stdout)
 
 	rep := sim.BuildLoadReport(snap, elapsed)
-	rep.GeneratedUnix = time.Now().Unix()
+	rep.GeneratedUnix = time.Now().Unix() //scip:wallclock-ok report metadata: records when the run happened, never feeds a decision
 	rep.Trace = tr.Name
 	rep.Policy = c.Name()
 	rep.CacheBytes = capBytes
@@ -391,9 +391,9 @@ func runScaleBench(tr *trace.Trace, policy string, capBytes int64, shards int, s
 				if err != nil {
 					return err
 				}
-				start := time.Now()
+				start := time.Now() //scip:wallclock-ok scale-matrix metering: wall time per cell
 				hits := runner.ReplaySharded(tr.Requests, c, w, m.batch)
-				elapsed := time.Since(start).Seconds()
+				elapsed := time.Since(start).Seconds() //scip:wallclock-ok scale-matrix metering: wall time per cell
 				c.Close()
 				miss := 1 - float64(hits)/float64(len(tr.Requests))
 				if first {
@@ -417,7 +417,7 @@ func runScaleBench(tr *trace.Trace, policy string, capBytes int64, shards int, s
 		}
 	}
 	runtime.GOMAXPROCS(prev)
-	rep.GeneratedUnix = time.Now().Unix()
+	rep.GeneratedUnix = time.Now().Unix() //scip:wallclock-ok report metadata: records when the run happened, never feeds a decision
 	out := struct {
 		ScaleMatrix sim.ScaleReport `json:"scale_matrix"`
 	}{rep}

@@ -1,18 +1,32 @@
 // Command scip-vet runs the repository's own static analyzers
-// (internal/analysis) over the module: detrand (no ambient randomness or
-// wall-clock reads in deterministic-replay packages), maporder (no map
-// iteration feeding ordered accumulators or output), nocopy (no value
-// copies of types carrying sync or atomic state) and atomicmix (no plain
-// access to variables accessed atomically elsewhere).
+// (internal/analysis) over the module. The per-file syntactic checks —
+// detrand (no ambient randomness or wall-clock reads in
+// deterministic-replay packages), maporder (no map iteration feeding
+// ordered accumulators or output), nocopy (no value copies of types
+// carrying sync or atomic state), atomicmix (no plain access to
+// variables accessed atomically elsewhere) and pkgdoc — are joined by
+// the interprocedural, call-graph-backed checks: hotalloc (functions
+// annotated //scip:hotpath and their transitive callees must be
+// allocation-free), clocktaint (no wall-clock-derived value may flow
+// into policy/admission/MAB/LRB decision state through any call chain),
+// guardedby (//scip:guardedby struct fields must be accessed with their
+// mutex provably held) and arenalife (unsafe arena strings must not
+// outlive the server's request scope). A final audit diagnoses every
+// //scip:*-ok suppression that no longer silences anything (stale) or
+// names a token no analyzer recognises (unknown).
 //
 // Usage:
 //
-//	scip-vet [packages]
+//	scip-vet [-run names] [-supps] [packages]
 //
 // Packages default to ./...; a dir/... suffix selects a subtree
-// (e.g. ./internal/...). Diagnostics print as
-// file:line: analyzer: message; the exit status is 1 when any
+// (e.g. ./internal/...). Note the flow-aware analyzers only see call
+// edges inside the loaded set, so CI runs the full module. Diagnostics
+// print as file:line: analyzer: message; the exit status is 1 when any
 // diagnostic is reported and 2 when loading or type-checking fails.
+// -run limits the run to a comma-separated list of analyzer names.
+// -supps prints the suppression-and-annotation inventory (file:line,
+// token, live/STALE, justification) instead of diagnostics.
 // Intentional exceptions are declared in the source with a
 // //scip:<token> comment carrying a justification (see
 // internal/analysis and DESIGN.md §7).
@@ -22,20 +36,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"github.com/scip-cache/scip/internal/analysis"
 )
 
 func main() {
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	supps := flag.Bool("supps", false, "print the //scip: suppression inventory instead of diagnostics")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: scip-vet [packages]\n\n")
-		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's determinism and concurrency analyzers.\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: scip-vet [-run names] [-supps] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Runs the repository's determinism, concurrency and allocation analyzers.\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*runNames)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scip-vet:", err)
+		os.Exit(2)
 	}
 
 	loader, err := analysis.NewLoader(".")
@@ -48,15 +71,81 @@ func main() {
 		fmt.Fprintln(os.Stderr, "scip-vet:", err)
 		os.Exit(2)
 	}
-	total := 0
-	for _, pkg := range pkgs {
-		for _, d := range analysis.RunAll(analysis.Analyzers(), pkg) {
-			fmt.Println(d)
-			total++
-		}
+	mod := analysis.NewModule(pkgs)
+	diags := analysis.VetModule(analyzers, mod)
+
+	if *supps {
+		printInventory(mod)
+		return
 	}
-	if total > 0 {
-		fmt.Fprintf(os.Stderr, "scip-vet: %d diagnostic(s)\n", total)
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "scip-vet: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// selectAnalyzers resolves the -run list against the registry.
+func selectAnalyzers(names string) ([]*analysis.Analyzer, error) {
+	all := analysis.Analyzers()
+	if names == "" {
+		return all, nil
+	}
+	byName := make(map[string]*analysis.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have %s)", name, analyzerNames(all))
+		}
+		out = append(out, a)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return out, nil
+}
+
+func analyzerNames(all []*analysis.Analyzer) string {
+	names := make([]string, len(all))
+	for i, a := range all {
+		names[i] = a.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// printInventory lists every //scip: comment with its status: annotation
+// tokens assert invariants, suppressions are live (consumed by an
+// analyzer this run) or STALE.
+func printInventory(mod *analysis.Module) {
+	inv := mod.SuppressionInventory()
+	stale := 0
+	for _, s := range inv {
+		status := "live"
+		switch {
+		case s.Annotation:
+			status = "annotation"
+		case !s.Used:
+			status = "STALE"
+			stale++
+		}
+		just := s.Justification
+		if just == "" {
+			just = "(no justification)"
+		}
+		fmt.Printf("%s:%d: //scip:%-14s %-10s %s\n", s.File, s.Line, s.Token, status, just)
+	}
+	fmt.Fprintf(os.Stderr, "scip-vet: %d //scip: comment(s), %d stale\n", len(inv), stale)
+	if stale > 0 {
 		os.Exit(1)
 	}
 }

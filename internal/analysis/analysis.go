@@ -23,13 +23,17 @@ type Analyzer struct {
 	Run func(pass *Pass)
 }
 
-// Pass carries one analyzer's view of one type-checked package.
+// Pass carries one analyzer's view of one type-checked package. Mod is
+// the module-wide index (call graph, annotations, summaries) shared by
+// every pass of one vet run; per-file analyzers can ignore it.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+	Mod      *Module
+	P        *Package
 
 	diags []Diagnostic
 }
@@ -61,20 +65,30 @@ func (p *Pass) TypeOf(e ast.Expr) types.Type { return p.Info.TypeOf(e) }
 // ObjectOf resolves an identifier to its object, or nil.
 func (p *Pass) ObjectOf(id *ast.Ident) types.Object { return p.Info.ObjectOf(id) }
 
-// Run executes the analyzer over pkg and returns the surviving
-// diagnostics: findings on lines covered by a justified suppression
-// comment are dropped, and suppression comments without a justification
-// are themselves reported (an exception must say why it is safe).
+// Run executes the analyzer over pkg (as a one-package module) and
+// returns the surviving diagnostics: findings on lines covered by a
+// justified suppression comment are dropped, and suppression comments
+// without a justification are themselves reported (an exception must say
+// why it is safe). Interprocedural analyzers see only pkg-internal call
+// edges under Run; use VetModule for the module-wide view.
 func Run(a *Analyzer, pkg *Package) []Diagnostic {
+	return runWith(a, pkg, NewModule([]*Package{pkg}))
+}
+
+// runWith executes one analyzer over one package of mod, applying mod's
+// shared suppression set for the package.
+func runWith(a *Analyzer, pkg *Package, mod *Module) []Diagnostic {
 	pass := &Pass{
 		Analyzer: a,
 		Fset:     pkg.Fset,
 		Files:    pkg.Files,
 		Pkg:      pkg.Types,
 		Info:     pkg.Info,
+		Mod:      mod,
+		P:        pkg,
 	}
 	a.Run(pass)
-	sup := collectSuppressions(pkg.Fset, pkg.Files)
+	sup := mod.Sups(pkg)
 	var out []Diagnostic
 	for _, d := range pass.diags {
 		if s := sup.match(a, d.Pos); s != nil {
@@ -87,25 +101,105 @@ func Run(a *Analyzer, pkg *Package) []Diagnostic {
 		}
 		out = append(out, d)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
-		}
-		return out[i].Pos.Line < out[j].Pos.Line
-	})
+	sortDiags(out)
 	return out
 }
 
 // RunAll executes every analyzer that applies to pkg (see Applies) and
-// merges the diagnostics in file/line order.
+// merges the diagnostics in file/line order. The package is analyzed as
+// a one-package module; the driver and the repo self-vet use VetModule,
+// which also audits suppressions.
 func RunAll(analyzers []*Analyzer, pkg *Package) []Diagnostic {
+	mod := NewModule([]*Package{pkg})
 	var out []Diagnostic
 	for _, a := range analyzers {
 		if !Applies(a, pkg.Path) {
 			continue
 		}
-		out = append(out, Run(a, pkg)...)
+		out = append(out, runWith(a, pkg, mod)...)
 	}
+	sortDiags(out)
+	return out
+}
+
+// AuditName labels the suppression-audit diagnostics (stale and unknown
+// //scip: tokens). The audit is not itself suppressible.
+const AuditName = "supaudit"
+
+// VetModule is the driver entry point: it runs every applicable analyzer
+// over every package of mod, sharing one suppression set per package so
+// a comment consumed by any analyzer counts as used, then audits the
+// suppressions — a token no analyzer knows is reported as unknown, and a
+// known suppression that silenced nothing is reported as stale. The
+// diagnostics come back merged in file/line order.
+func VetModule(analyzers []*Analyzer, mod *Module) []Diagnostic {
+	var out []Diagnostic
+	for _, pkg := range mod.Packages {
+		for _, a := range analyzers {
+			if !Applies(a, pkg.Path) {
+				continue
+			}
+			out = append(out, runWith(a, pkg, mod)...)
+		}
+	}
+	// Audit after every analyzer has run: used-marking must be complete.
+	// A token is unknown when NO registered analyzer claims it; it is
+	// stale only when its analyzer actually ran this invocation and still
+	// consumed nothing (a -run subset must not flag the other analyzers'
+	// suppressions).
+	known := make(map[string]bool)
+	for _, a := range Analyzers() {
+		for _, tok := range a.Suppress {
+			known[tok] = true
+		}
+	}
+	ran := make(map[string]bool)
+	for _, a := range analyzers {
+		for _, tok := range a.Suppress {
+			ran[tok] = true
+		}
+	}
+	for _, pkg := range mod.Packages {
+		out = append(out, auditSuppressions(pkg, mod.Sups(pkg), known, ran)...)
+	}
+	sortDiags(out)
+	return out
+}
+
+// auditSuppressions reports stale and unknown //scip: comments in one
+// package. Annotation tokens (hotpath, guardedby, ...) assert invariants
+// rather than silencing findings and are exempt from staleness.
+func auditSuppressions(pkg *Package, sup suppressionSet, known, ran map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for _, lines := range sup.byFileLine {
+		for _, sups := range lines {
+			for _, s := range sups {
+				if annotationTokens[s.token] {
+					continue
+				}
+				var msg string
+				switch {
+				case !known[s.token]:
+					msg = fmt.Sprintf("unknown //scip:%s: no analyzer recognises this token (known suppressions end in -ok)", s.token)
+				case ran[s.token] && !s.used:
+					msg = fmt.Sprintf("stale suppression //scip:%s: it no longer silences any finding; delete it", s.token)
+				default:
+					continue
+				}
+				//scip:ordered-ok collect-only: diagnostics carry their own position and VetModule sorts the merged output by file/line
+				out = append(out, Diagnostic{
+					Pos:      token.Position{Filename: s.file, Line: s.line},
+					Analyzer: AuditName,
+					Message:  msg,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// sortDiags orders diagnostics by file, line, then analyzer name.
+func sortDiags(out []Diagnostic) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Pos.Filename != out[j].Pos.Filename {
 			return out[i].Pos.Filename < out[j].Pos.Filename
@@ -115,7 +209,6 @@ func RunAll(analyzers []*Analyzer, pkg *Package) []Diagnostic {
 		}
 		return out[i].Analyzer < out[j].Analyzer
 	})
-	return out
 }
 
 // suppression is one //scip: comment in a file.

@@ -25,6 +25,9 @@ func TestFixtures(t *testing.T) {
 		{Pkgdoc, "pkgdoc/missing"},
 		{Pkgdoc, "pkgdoc/clean"},
 		{Pkgdoc, "pkgdoc/suppressed"},
+		// guardedby works from per-package lexical lock regions, so one
+		// package exercises it fully.
+		{Guardedby, "guardedby"},
 	}
 	for _, c := range cases {
 		t.Run(c.dir, func(t *testing.T) {
@@ -34,9 +37,37 @@ func TestFixtures(t *testing.T) {
 	}
 }
 
+// TestModuleFixtures runs the interprocedural analyzers over multi-file
+// (and multi-package) fixture trees through the module-wide VetModule
+// entry point: cross-package transitive hot paths, taint flows into a
+// sink sub-package, arena lifetimes in an internal/server-suffixed
+// package, and the suppression audit itself.
+func TestModuleFixtures(t *testing.T) {
+	cases := []struct {
+		analyzers []*Analyzer
+		dir       string
+	}{
+		{[]*Analyzer{Hotalloc}, "hotalloc"},
+		{[]*Analyzer{Clocktaint}, "clocktaint"},
+		{[]*Analyzer{Arenalife}, "arenalife"},
+		// The audit runs after any VetModule invocation; the full analyzer
+		// set makes every registered token count as "ran".
+		{Analyzers(), "supaudit"},
+	}
+	for _, c := range cases {
+		t.Run(c.dir, func(t *testing.T) {
+			t.Parallel()
+			CheckFixtureModule(t, c.analyzers, filepath.Join("testdata", c.dir))
+		})
+	}
+}
+
 // TestRepoIsClean loads the whole module the way cmd/scip-vet does and
-// asserts zero diagnostics: the tree must stay vet-clean, and every
-// intentional exception must carry a justified suppression comment.
+// asserts zero diagnostics: the tree must stay vet-clean, every
+// intentional exception must carry a justified suppression comment, and
+// no suppression may be stale. The module-wide VetModule entry point
+// matters here — the interprocedural analyzers need cross-package call
+// edges, and the suppression audit needs the shared used-marking.
 func TestRepoIsClean(t *testing.T) {
 	if testing.Short() {
 		t.Skip("type-checks the entire module")
@@ -52,10 +83,8 @@ func TestRepoIsClean(t *testing.T) {
 	if len(pkgs) < 10 {
 		t.Fatalf("loaded only %d packages; the ./... expansion is broken", len(pkgs))
 	}
-	for _, pkg := range pkgs {
-		for _, d := range RunAll(Analyzers(), pkg) {
-			t.Errorf("%s", d)
-		}
+	for _, d := range VetModule(Analyzers(), NewModule(pkgs)) {
+		t.Errorf("%s", d)
 	}
 }
 

@@ -1,0 +1,258 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Arenalife encodes the reqScope lifetime rule from internal/server
+// (PR 6) as a check instead of a prose comment: a string built with
+// unsafe.String over a pooled arena buffer aliases memory that is
+// recycled as soon as the handler returns, so it must not outlive the
+// request. Tracked arena values are unsafe.String results and the
+// results of module functions that return one (itoa-style constructors,
+// whose own escaping return carries a //scip:arena-ok justification).
+//
+// Violations: (1) returning an arena string (it escapes the frame that
+// owns the buffer), (2) storing an arena string through a selector or
+// index (a struct field, map or slice outlives the request), and (3)
+// placing an arena string in a response header without a body write
+// later in the same function — net/http serialises the header block
+// during the first body write, so a bodyless path serialises headers
+// only after the handler returns, when the arena is already recycled.
+var Arenalife = &Analyzer{
+	Name:     "arenalife",
+	Doc:      "keep unsafe arena strings from outliving the request (reqScope lifetime rule)",
+	Suppress: []string{"arena-ok"},
+	Run:      runArenalife,
+}
+
+// arenaSummary records whether a function hands out arena memory.
+type arenaSummary struct {
+	returnsArena bool
+}
+
+func runArenalife(pass *Pass) {
+	mod := pass.Mod
+	mod.ensureArenaSummaries()
+	for _, node := range mod.FuncsOf(pass.P) {
+		sc := &arenaScan{mod: mod, node: node, pass: pass, vars: make(map[*types.Var]bool)}
+		sc.run()
+	}
+}
+
+// ensureArenaSummaries computes returnsArena for every module function
+// to a fixpoint (memoised).
+func (m *Module) ensureArenaSummaries() {
+	if m.arenaOnce {
+		return
+	}
+	m.arenaOnce = true
+	for _, node := range m.nodes {
+		node.arena = &arenaSummary{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range m.nodes {
+			sc := &arenaScan{mod: m, node: node, vars: make(map[*types.Var]bool)}
+			if sc.run() {
+				changed = true
+			}
+		}
+	}
+}
+
+// arenaScan propagates arena-string values through one function body.
+type arenaScan struct {
+	mod  *Module
+	node *FuncNode
+	pass *Pass // nil during summary fixpoint
+	vars map[*types.Var]bool
+}
+
+func (sc *arenaScan) run() bool {
+	// Propagate through locals until stable.
+	for {
+		n := len(sc.vars)
+		ast.Inspect(sc.node.Decl.Body, sc.propagate)
+		if len(sc.vars) == n {
+			break
+		}
+	}
+	sum := sc.node.arena
+	before := sum.returnsArena
+	sc.check()
+	return sum.returnsArena != before
+}
+
+// propagate records locals assigned an arena value.
+func (sc *arenaScan) propagate(n ast.Node) bool {
+	as, ok := n.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != len(as.Rhs) {
+		return true
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name == "_" || !sc.isArena(as.Rhs[i]) {
+			continue
+		}
+		if v, ok := sc.varOf(id); ok {
+			sc.vars[v] = true
+		}
+	}
+	return true
+}
+
+// check walks the body once, reporting violations and updating the
+// summary.
+func (sc *arenaScan) check() {
+	var headerUses []token.Pos
+	var lastBodyWrite token.Pos
+	info := sc.node.Pkg.Info
+
+	ast.Inspect(sc.node.Decl.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				if sc.isArena(e) {
+					sc.node.arena.returnsArena = true
+					sc.report(e.Pos(), "arena-backed string escapes via return: it aliases a pooled buffer recycled after the handler returns")
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i >= len(n.Rhs) {
+					break
+				}
+				switch lhs.(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					if sc.isArena(n.Rhs[i]) {
+						sc.report(n.Pos(), "arena-backed string stored through %s outlives the request scope", exprString(lhs.(ast.Expr)))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if isBodyWrite(n) {
+				if p := n.Pos(); p > lastBodyWrite {
+					lastBodyWrite = p
+				}
+				return true
+			}
+			if !isHeaderStore(info, n) {
+				return true
+			}
+			for _, arg := range n.Args {
+				if sc.isArena(arg) {
+					headerUses = append(headerUses, arg.Pos())
+				}
+			}
+		}
+		return true
+	})
+	for _, p := range headerUses {
+		if lastBodyWrite <= p {
+			sc.report(p, "arena-backed header value with no body write before return: headers serialise after the arena is recycled (reqScope lifetime rule)")
+		}
+	}
+}
+
+func (sc *arenaScan) report(pos token.Pos, format string, args ...any) {
+	if sc.pass != nil {
+		sc.pass.Reportf(pos, format, args...)
+	}
+}
+
+// isArena reports whether e yields an arena-backed string.
+func (sc *arenaScan) isArena(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := sc.varOf(e); ok {
+			return sc.vars[v]
+		}
+	case *ast.ParenExpr:
+		return sc.isArena(e.X)
+	case *ast.CallExpr:
+		if isUnsafeString(sc.node.Pkg.Info, e) {
+			return true
+		}
+		callee := sc.callee(e)
+		if callee == nil {
+			return false
+		}
+		if node := sc.mod.NodeOf(callee); node != nil && node.arena != nil {
+			return node.arena.returnsArena
+		}
+	}
+	return false
+}
+
+func (sc *arenaScan) varOf(id *ast.Ident) (*types.Var, bool) {
+	info := sc.node.Pkg.Info
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+func (sc *arenaScan) callee(call *ast.CallExpr) *types.Func {
+	return staticCallee(sc.node.Pkg.Info, call)
+}
+
+// isUnsafeString matches unsafe.String(ptr, len) calls. The unsafe
+// pseudo-functions are *types.Builtin objects, not *types.Func, so the
+// static-callee path cannot resolve them.
+func isUnsafeString(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "String" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	return ok && pn.Imported().Path() == "unsafe"
+}
+
+// isHeaderStore recognises calls that place a value into a response
+// header: the package's setHeader helper, and Set/Add/Values-style
+// methods on net/http.Header.
+func isHeaderStore(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "setHeader"
+	case *ast.SelectorExpr:
+		if fun.Sel.Name != "Set" && fun.Sel.Name != "Add" {
+			return false
+		}
+		t := info.TypeOf(fun.X)
+		return t != nil && isHTTPHeader(t)
+	}
+	return false
+}
+
+func isHTTPHeader(t types.Type) bool {
+	named, ok := derefType(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net/http" && obj.Name() == "Header"
+}
+
+// isBodyWrite recognises the calls that flush the header block to the
+// wire: Write/WriteString on a writer (net/http serialises the header
+// block during the first body write).
+func isBodyWrite(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fun.Sel.Name == "Write" || fun.Sel.Name == "WriteString"
+	case *ast.Ident:
+		return fun.Name == "WriteString"
+	}
+	return false
+}

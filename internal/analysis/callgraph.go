@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Call-graph construction: every CallExpr in a declared function body is
+// classified as a builtin, a type conversion, a statically resolved call
+// (module-internal edge or external function), or a dynamic call
+// (interface dispatch or a call through a function value). The
+// classification is deliberately conservative — anything that cannot be
+// proven static lands in Dynamic, and the flow-aware analyzers treat
+// dynamic sites as opaque (hotalloc reports them; clocktaint passes the
+// union of the argument taint through them rather than guessing the
+// callee).
+
+// buildEdges fills node's Calls/Dynamic/External from its body.
+func (m *Module) buildEdges(node *FuncNode) {
+	info := node.Pkg.Info
+	ast.Inspect(node.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		m.classify(node, info, call)
+		return true
+	})
+}
+
+// classify resolves one call expression and records the edge.
+func (m *Module) classify(node *FuncNode, info *types.Info, call *ast.CallExpr) {
+	fun := unwrapCallFun(call.Fun)
+	if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		return // conversion or builtin: no edge
+	}
+	switch fn := fun.(type) {
+	case *ast.Ident:
+		switch obj := info.Uses[fn].(type) {
+		case *types.Func:
+			m.addStatic(node, call, obj)
+		case *types.Var:
+			node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: "function value " + fn.Name})
+		case nil:
+			// Defs (rare: recursive reference inside its own decl) or
+			// unresolved; treat as dynamic only if it has function type.
+			if t := info.TypeOf(fn); t != nil {
+				if _, ok := t.Underlying().(*types.Signature); ok {
+					node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: "function value " + fn.Name})
+				}
+			}
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			callee, ok := sel.Obj().(*types.Func)
+			if !ok {
+				// Field of function type: a call through a stored func value.
+				node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: "function value " + exprString(fn)})
+				return
+			}
+			if types.IsInterface(sel.Recv()) || interfaceMethod(callee) {
+				node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: dynDesc(sel.Recv(), callee)})
+				return
+			}
+			m.addStatic(node, call, callee)
+			return
+		}
+		// Package-qualified reference (pkg.F or pkg.Var).
+		switch obj := info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			m.addStatic(node, call, obj)
+		case *types.Var:
+			node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: "function value " + exprString(fn)})
+		}
+	case *ast.FuncLit:
+		// An immediately invoked literal: its body is scanned as part of
+		// the enclosing function by analyzers that care (hotalloc treats
+		// the literal itself as an allocation).
+	default:
+		// Call of an arbitrary expression (result of another call, index
+		// into a slice of funcs, ...): dynamic.
+		if t := info.TypeOf(fun); t != nil {
+			if _, ok := t.Underlying().(*types.Signature); ok {
+				node.Dynamic = append(node.Dynamic, DynCall{Call: call, Desc: "function value"})
+			}
+		}
+	}
+}
+
+// addStatic records a resolved call: a module edge when the callee is
+// declared here, an external call otherwise.
+func (m *Module) addStatic(node *FuncNode, call *ast.CallExpr, callee *types.Func) {
+	if target, ok := m.funcs[callee]; ok {
+		node.Calls = append(node.Calls, CallEdge{Callee: target, Call: call})
+		return
+	}
+	// Methods resolve to the origin for generic instantiations.
+	if target, ok := m.funcs[callee.Origin()]; ok {
+		node.Calls = append(node.Calls, CallEdge{Callee: target, Call: call})
+		return
+	}
+	node.External = append(node.External, ExtCall{Call: call, Fn: callee})
+}
+
+// interfaceMethod reports whether fn is declared on an interface type
+// (its receiver is an interface), which makes any call dynamic even when
+// the selection metadata says MethodVal on a concrete-looking path.
+func interfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return types.IsInterface(sig.Recv().Type())
+}
+
+// dynDesc names a dynamic dispatch site: "cache.Policy.Access".
+func dynDesc(recv types.Type, fn *types.Func) string {
+	name := types.TypeString(recv, func(p *types.Package) string { return p.Name() })
+	return name + "." + fn.Name()
+}
+
+// unwrapCallFun strips parens and generic instantiation indices off a
+// call's Fun expression.
+func unwrapCallFun(e ast.Expr) ast.Expr {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.IndexListExpr:
+			e = x.X
+		default:
+			return e
+		}
+	}
+}
+
+// exprString renders a short expression for diagnostics.
+func exprString(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprString(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(x.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(x.X)
+	case *ast.ParenExpr:
+		return exprString(x.X)
+	case *ast.CallExpr:
+		return exprString(x.Fun) + "()"
+	case *ast.UnaryExpr:
+		return x.Op.String() + exprString(x.X)
+	}
+	return "expr"
+}

@@ -1,0 +1,516 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Clocktaint upgrades detrand from a syntactic ban to interprocedural
+// dataflow: a value derived from time.Now/Since/Until — read anywhere in
+// the module, including packages where wall-clock reads are legitimate —
+// may not flow into the deterministic decision state (policy, admission,
+// MAB, LRB; see ClockSinkPaths) through any call chain. The analysis
+// computes per-function summaries to a module-wide fixpoint: whether a
+// function returns a clock-derived value, and for every parameter
+// (receiver included) whether it can reach a sink or the return value.
+// Taint is tracked flow-insensitively at variable granularity, which
+// over-approximates (a variable once tainted stays tainted) and never
+// misses a flow through locals, returns, or call chains.
+//
+// A clock read whose uses are all metering (latency histograms,
+// BENCH.json timings) is declared with a justified //scip:wallclock-ok
+// comment; that sanctions the source, so nothing downstream of it is
+// tainted. Sinks are (1) arguments passed to functions or interface
+// methods declared in a sink package, (2) writes to struct fields
+// declared in a sink package, and (3) composite literals of sink-package
+// types.
+var Clocktaint = &Analyzer{
+	Name:     "clocktaint",
+	Doc:      "forbid wall-clock-derived values from reaching policy/admission/MAB/LRB state",
+	Suppress: []string{"wallclock-ok"},
+	Run:      runClocktaint,
+}
+
+// clockSummary is one function's taint behaviour, computed to fixpoint.
+type clockSummary struct {
+	// clockRet: some return value is clock-derived regardless of inputs.
+	clockRet bool
+	// params holds one flow record per parameter, receiver first.
+	params []clockParamFlow
+}
+
+type clockParamFlow struct {
+	toRet  bool // the parameter can flow into a return value
+	toSink bool // the parameter can flow into a sink
+}
+
+const clockBit uint64 = 1 // mask bit 0; bit i+1 is parameter i
+
+func runClocktaint(pass *Pass) {
+	mod := pass.Mod
+	mod.ensureClockSummaries()
+	for _, node := range mod.FuncsOf(pass.P) {
+		sc := &clockScan{mod: mod, node: node, pass: pass, vars: make(map[*types.Var]uint64)}
+		sc.run()
+	}
+}
+
+// ensureClockSummaries computes every function's clockSummary to a
+// module-wide fixpoint (memoised).
+func (m *Module) ensureClockSummaries() {
+	if m.clockOnce {
+		return
+	}
+	m.clockOnce = true
+	for _, node := range m.nodes {
+		node.clock = &clockSummary{params: make([]clockParamFlow, len(clockParams(node)))}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, node := range m.nodes {
+			sc := &clockScan{mod: m, node: node, vars: make(map[*types.Var]uint64)}
+			if sc.run() {
+				changed = true
+			}
+		}
+	}
+}
+
+// clockParams lists a function's parameter objects, receiver first.
+func clockParams(node *FuncNode) []*types.Var {
+	sig, _ := node.Fn.Type().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	var out []*types.Var
+	if sig.Recv() != nil {
+		out = append(out, sig.Recv())
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		out = append(out, sig.Params().At(i))
+	}
+	return out
+}
+
+// clockScan propagates taint through one function body. With pass set it
+// reports sink hits; with pass nil it only updates the summary, and
+// run() returns whether the summary changed (the fixpoint driver's
+// termination condition).
+type clockScan struct {
+	mod  *Module
+	node *FuncNode
+	pass *Pass // nil during summary fixpoint
+	vars map[*types.Var]uint64
+}
+
+func (sc *clockScan) run() bool {
+	sum := sc.node.clock
+	before := *sum
+	beforeParams := append([]clockParamFlow(nil), sum.params...)
+
+	for i, p := range clockParams(sc.node) {
+		if i < 63 {
+			sc.vars[p] = uint64(1) << uint(i+1)
+		}
+	}
+	// Iterate the body until variable masks stabilise: taint is monotone,
+	// so this terminates. Diagnostics are held back until the final sweep
+	// (reporting) so each sink hit is reported exactly once.
+	pass := sc.pass
+	sc.pass = nil
+	for {
+		h := sc.snapshot()
+		ast.Inspect(sc.node.Decl.Body, sc.visit)
+		if sc.snapshot() == h {
+			break
+		}
+	}
+	if pass != nil {
+		sc.pass = pass
+		ast.Inspect(sc.node.Decl.Body, sc.visit)
+	}
+	retMask := sc.returnMask()
+	if retMask&clockBit != 0 {
+		sum.clockRet = true
+	}
+	for i := range sum.params {
+		if i < 63 && retMask&(uint64(1)<<uint(i+1)) != 0 {
+			sum.params[i].toRet = true
+		}
+	}
+	if sum.clockRet != before.clockRet {
+		return true
+	}
+	for i := range sum.params {
+		if sum.params[i] != beforeParams[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// snapshot folds the var masks into a comparable fingerprint: an
+// order-independent XOR-sum, so map iteration order cannot affect the
+// fixpoint test. Masks only ever gain bits, so equal fingerprints across
+// a sweep mean no mask changed.
+func (sc *clockScan) snapshot() uint64 {
+	var h uint64
+	for v, m := range sc.vars {
+		h ^= m * (uint64(v.Pos()) | 1)
+	}
+	return h
+}
+
+// visit handles one node during taint propagation.
+func (sc *clockScan) visit(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.AssignStmt:
+		sc.assign(n)
+	case *ast.RangeStmt:
+		// k, v := range x: loop variables take the container's taint.
+		m := sc.mask(n.X)
+		for _, lhs := range []ast.Expr{n.Key, n.Value} {
+			if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+				if v, ok := sc.varOf(id); ok {
+					sc.vars[v] |= m
+				}
+			}
+		}
+	case *ast.GenDecl:
+		for _, spec := range n.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if i < len(vs.Values) {
+					if v, ok := sc.varOf(name); ok {
+						sc.vars[v] |= sc.mask(vs.Values[i])
+					}
+				}
+			}
+		}
+	case *ast.CallExpr:
+		sc.call(n)
+	case *ast.CompositeLit:
+		sc.compositeSink(n)
+	}
+	return true
+}
+
+// assign propagates RHS taint to LHS variables and checks field-write
+// sinks.
+func (sc *clockScan) assign(as *ast.AssignStmt) {
+	var masks []uint64
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		m := sc.mask(as.Rhs[0]) // multi-value call: every LHS gets the union
+		for range as.Lhs {
+			masks = append(masks, m)
+		}
+	} else {
+		for _, r := range as.Rhs {
+			masks = append(masks, sc.mask(r))
+		}
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(masks) {
+			break
+		}
+		m := masks[i]
+		switch lhs := lhs.(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			if v, ok := sc.varOf(lhs); ok {
+				sc.vars[v] |= m
+			}
+		case *ast.SelectorExpr:
+			// Writing through a field: if the field lives in a sink
+			// package, taint entering it is a finding.
+			if fv, ok := sc.fieldOf(lhs); ok && sinkPackage(fv.Pkg()) {
+				sc.sinkHit(lhs.Pos(), m, "write to "+fv.Pkg().Name()+"."+fv.Name())
+			}
+			// Struct fields are not tracked individually: the base
+			// variable absorbs the taint so later reads stay tainted.
+			if id := baseIdent(lhs); id != nil {
+				if v, ok := sc.varOf(id); ok {
+					sc.vars[v] |= m
+				}
+			}
+		case *ast.IndexExpr:
+			if id := baseIdent(lhs); id != nil {
+				if v, ok := sc.varOf(id); ok {
+					sc.vars[v] |= m
+				}
+			}
+		}
+	}
+}
+
+// call checks sink parameters and marks sanctioned sources used.
+func (sc *clockScan) call(call *ast.CallExpr) {
+	callee := sc.calleeFunc(call)
+	if callee == nil {
+		return
+	}
+	var sum *clockSummary
+	if node := sc.mod.NodeOf(callee); node != nil {
+		sum = node.clock
+	}
+	calleeSink := callee.Pkg() != nil && sinkPackage(callee.Pkg())
+	// Receiver is parameter 0 of a method summary.
+	argIdx := 0
+	if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+		argIdx = 1
+	}
+	for i, arg := range call.Args {
+		j := argIdx + i
+		toSink := calleeSink
+		if sum != nil && j < len(sum.params) && sum.params[j].toSink {
+			toSink = true
+		}
+		if !toSink {
+			continue
+		}
+		sc.sinkHit(arg.Pos(), sc.mask(arg), "argument to "+shortFuncName(callee))
+	}
+}
+
+// compositeSink flags clock taint built directly into a sink-package
+// composite literal (e.g. constructing policy config from a clock read).
+func (sc *clockScan) compositeSink(lit *ast.CompositeLit) {
+	t := sc.node.Pkg.Info.TypeOf(lit)
+	named, ok := derefType(t).(*types.Named)
+	if !ok || named.Obj().Pkg() == nil || !sinkPackage(named.Obj().Pkg()) {
+		return
+	}
+	if named.Obj().Pkg() == sc.node.Fn.Pkg() {
+		return // a sink package building its own values is covered by field writes
+	}
+	for _, el := range lit.Elts {
+		e := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			e = kv.Value
+		}
+		sc.sinkHit(e.Pos(), sc.mask(e), "field of "+named.Obj().Name()+" literal")
+	}
+}
+
+// sinkHit records taint reaching a sink: the clock bit is a diagnostic,
+// parameter bits update the summary (the caller's caller gets the
+// diagnostic at its own call site).
+func (sc *clockScan) sinkHit(at token.Pos, mask uint64, what string) {
+	if mask&clockBit != 0 && sc.pass != nil {
+		sc.pass.Reportf(at, "wall-clock-derived value reaches deterministic state (%s)", what)
+	}
+	sum := sc.node.clock
+	for i := range sum.params {
+		if i < 63 && mask&(uint64(1)<<uint(i+1)) != 0 {
+			sum.params[i].toSink = true
+		}
+	}
+}
+
+// mask computes the taint mask of an expression.
+func (sc *clockScan) mask(e ast.Expr) uint64 {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := sc.varOf(e); ok {
+			return sc.vars[v]
+		}
+	case *ast.CallExpr:
+		return sc.callMask(e)
+	case *ast.BinaryExpr:
+		return sc.mask(e.X) | sc.mask(e.Y)
+	case *ast.UnaryExpr:
+		return sc.mask(e.X)
+	case *ast.StarExpr:
+		return sc.mask(e.X)
+	case *ast.ParenExpr:
+		return sc.mask(e.X)
+	case *ast.SelectorExpr:
+		return sc.mask(e.X)
+	case *ast.IndexExpr:
+		return sc.mask(e.X)
+	case *ast.SliceExpr:
+		return sc.mask(e.X)
+	case *ast.TypeAssertExpr:
+		return sc.mask(e.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				m |= sc.mask(kv.Value)
+			} else {
+				m |= sc.mask(el)
+			}
+		}
+		return m
+	case *ast.FuncLit:
+		return 0
+	}
+	return 0
+}
+
+// callMask computes the taint of a call's result.
+func (sc *clockScan) callMask(call *ast.CallExpr) uint64 {
+	info := sc.node.Pkg.Info
+	fun := unwrapCallFun(call.Fun)
+	if tv, ok := info.Types[fun]; ok && (tv.IsType() || tv.IsBuiltin()) {
+		var m uint64 // conversions and builtins pass taint through
+		for _, a := range call.Args {
+			m |= sc.mask(a)
+		}
+		return m
+	}
+	callee := sc.calleeFunc(call)
+	if callee != nil && isClockSource(callee) {
+		if sc.mod.sanctioned(sc.node.Pkg, "wallclock-ok", call.Pos()) {
+			return 0 // justified metering read: the source is sanctioned
+		}
+		return clockBit
+	}
+	var recvMask uint64
+	if sel, ok := fun.(*ast.SelectorExpr); ok {
+		recvMask = sc.mask(sel.X)
+	}
+	if callee != nil {
+		if node := sc.mod.NodeOf(callee); node != nil && node.clock != nil {
+			var m uint64
+			if node.clock.clockRet {
+				m = clockBit
+			}
+			argIdx := 0
+			if sig, ok := callee.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if len(node.clock.params) > 0 && node.clock.params[0].toRet {
+					m |= recvMask
+				}
+				argIdx = 1
+			}
+			for i, a := range call.Args {
+				j := argIdx + i
+				if j < len(node.clock.params) && node.clock.params[j].toRet {
+					m |= sc.mask(a)
+				}
+			}
+			return m
+		}
+	}
+	// External or dynamic call: conservatively union the inputs — a
+	// tainted value through math.Max or an interface method stays tainted.
+	m := recvMask
+	for _, a := range call.Args {
+		m |= sc.mask(a)
+	}
+	return m
+}
+
+// returnMask unions every return statement's taint, including named
+// result variables at bare returns.
+func (sc *clockScan) returnMask() uint64 {
+	var m uint64
+	results := sc.node.Decl.Type.Results
+	ast.Inspect(sc.node.Decl.Body, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, e := range ret.Results {
+			m |= sc.mask(e)
+		}
+		if len(ret.Results) == 0 && results != nil {
+			for _, f := range results.List {
+				for _, name := range f.Names {
+					if v, ok := sc.varOf(name); ok {
+						m |= sc.vars[v]
+					}
+				}
+			}
+		}
+		return true
+	})
+	return m
+}
+
+// varOf resolves an identifier to a variable object.
+func (sc *clockScan) varOf(id *ast.Ident) (*types.Var, bool) {
+	info := sc.node.Pkg.Info
+	if v, ok := info.Uses[id].(*types.Var); ok {
+		return v, true
+	}
+	if v, ok := info.Defs[id].(*types.Var); ok {
+		return v, true
+	}
+	return nil, false
+}
+
+// fieldOf resolves a selector to the struct field it names.
+func (sc *clockScan) fieldOf(sel *ast.SelectorExpr) (*types.Var, bool) {
+	info := sc.node.Pkg.Info
+	if s, ok := info.Selections[sel]; ok {
+		if v, ok := s.Obj().(*types.Var); ok && v.IsField() {
+			return v, true
+		}
+	}
+	return nil, false
+}
+
+// calleeFunc resolves a call to its *types.Func when possible: static
+// functions, methods, and interface methods (whose declaring package
+// identifies the sink).
+func (sc *clockScan) calleeFunc(call *ast.CallExpr) *types.Func {
+	info := sc.node.Pkg.Info
+	switch fun := unwrapCallFun(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[fun]; ok {
+			if f, ok := s.Obj().(*types.Func); ok {
+				return f
+			}
+			return nil
+		}
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// isClockSource reports whether fn is a wall-clock read.
+func isClockSource(fn *types.Func) bool {
+	if fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+		return false
+	}
+	switch fn.Name() {
+	case "Now", "Since", "Until":
+		return true
+	}
+	return false
+}
+
+// sinkPackage reports whether pkg holds deterministic decision state.
+func sinkPackage(pkg *types.Package) bool {
+	for _, suffix := range ClockSinkPaths {
+		if strings.HasSuffix(pkg.Path(), suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// derefType strips one pointer layer.
+func derefType(t types.Type) types.Type {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		return p.Elem()
+	}
+	return t
+}

@@ -286,7 +286,9 @@ func CheckDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (
 		}
 		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
 		if err != nil {
-			return nil, err
+			// Parse errors carry their own file:line; prefix the package so
+			// multi-package loads name the failing package too.
+			return nil, fmt.Errorf("analysis: package %s: %w", importPath, err)
 		}
 		files = append(files, f)
 	}
@@ -301,10 +303,28 @@ func CheckDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (
 		Implicits:  make(map[ast.Node]types.Object),
 		Scopes:     make(map[ast.Node]*types.Scope),
 	}
-	conf := types.Config{Importer: imp}
+	// Collect every type error so the report can carry an exact position:
+	// conf.Check alone returns only the first error, and when that error
+	// surfaces through a dependency import it reaches the driver with no
+	// file context at all.
+	var terrs []types.Error
+	conf := types.Config{Importer: imp, Error: func(err error) {
+		if te, ok := err.(types.Error); ok && !te.Soft {
+			terrs = append(terrs, te)
+		}
+	}}
 	tpkg, err := conf.Check(importPath, fset, files, info)
+	if len(terrs) > 0 {
+		te := terrs[0]
+		extra := ""
+		if n := len(terrs); n > 1 {
+			extra = fmt.Sprintf(" (and %d more)", n-1)
+		}
+		return nil, fmt.Errorf("analysis: package %s: %s: %s%s",
+			importPath, te.Fset.Position(te.Pos), te.Msg, extra)
+	}
 	if err != nil {
-		return nil, fmt.Errorf("analysis: type-checking %s: %w", importPath, err)
+		return nil, fmt.Errorf("analysis: package %s: %w", importPath, err)
 	}
 	return &Package{
 		Path:  importPath,

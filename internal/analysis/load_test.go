@@ -1,0 +1,131 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeTree lays out a file map under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		path := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoadErrorContext pins the loader's error reporting: a broken
+// package must be named by import path AND by the position of the
+// failing code, for both type errors and parse errors. Without the
+// position a type error surfacing through a dependency import reaches
+// the driver as an unanchored one-liner.
+func TestLoadErrorContext(t *testing.T) {
+	t.Run("type error", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/broken\n\ngo 1.22\n",
+			"sub/bad.go": `package sub
+
+func f() int { return "not an int" }
+`,
+		})
+		l, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = l.Load("./...")
+		if err == nil {
+			t.Fatal("loading a package with a type error succeeded")
+		}
+		for _, want := range []string{"example.com/broken/sub", "bad.go:3"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("load error %q does not mention %q", err, want)
+			}
+		}
+	})
+	t.Run("multiple type errors are counted", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/broken\n\ngo 1.22\n",
+			"sub/bad.go": `package sub
+
+func f() int { return "no" }
+func g() int { return true }
+`,
+		})
+		l, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = l.Load("./...")
+		if err == nil {
+			t.Fatal("loading a package with type errors succeeded")
+		}
+		for _, want := range []string{"bad.go:3", "and 1 more"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("load error %q does not mention %q", err, want)
+			}
+		}
+	})
+	t.Run("parse error", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/broken\n\ngo 1.22\n",
+			"sub/bad.go": `package sub
+
+func f( {
+`,
+		})
+		l, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = l.Load("./...")
+		if err == nil {
+			t.Fatal("loading an unparseable package succeeded")
+		}
+		for _, want := range []string{"example.com/broken/sub", "bad.go:3"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("load error %q does not mention %q", err, want)
+			}
+		}
+	})
+	t.Run("error through an import names the broken package", func(t *testing.T) {
+		dir := t.TempDir()
+		writeTree(t, dir, map[string]string{
+			"go.mod": "module example.com/broken\n\ngo 1.22\n",
+			"sub/bad.go": `package sub
+
+func F() int { return "no" }
+`,
+			"top/top.go": `package top
+
+import "example.com/broken/sub"
+
+func G() int { return sub.F() }
+`,
+		})
+		l, err := NewLoader(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Load only the importer: the failure must still be attributed to
+		// the imported package, with its own file position.
+		_, err = l.Load("./top")
+		if err == nil {
+			t.Fatal("loading a package whose import is broken succeeded")
+		}
+		for _, want := range []string{"example.com/broken/sub", "bad.go:3"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("load error %q does not mention %q", err, want)
+			}
+		}
+	})
+}

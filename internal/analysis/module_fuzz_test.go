@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// FuzzCallGraph throws arbitrary source at the module indexer: whatever
+// the parser accepts — including ill-typed programs, which leave holes
+// in the types.Info maps exactly the way a broken in-progress tree
+// does — must never panic the call-graph builder, the annotation
+// parser, the hot-set traversal, or the flow analyzers on top. The
+// fuzzed package path ends in internal/server so the path-scoped
+// arenalife analyzer is exercised too.
+func FuzzCallGraph(f *testing.F) {
+	seeds := []string{
+		// Simple static calls and a hotpath root.
+		`package p
+
+//scip:hotpath
+func a() int { return b() }
+func b() int { return len(make([]int, 4)) }
+`,
+		// Interface dispatch and function values.
+		`package p
+
+type I interface{ M(int) int }
+
+type s struct{ fn func(int) int }
+
+//scip:hotpath
+func dyn(i I, st *s, n int) int { return i.M(n) + st.fn(n) }
+`,
+		// Mutual recursion: the hot-set BFS must terminate on cycles.
+		`package p
+
+//scip:hotpath
+func even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return odd(n - 1)
+}
+func odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return even(n - 1)
+}
+`,
+		// Generics: instantiated calls still resolve to the generic decl.
+		`package p
+
+func id[T any](v T) T { return v }
+
+//scip:hotpath
+func g() int { return id(7) }
+`,
+		// Guardedby annotations, lock regions, and a //scip:locked callee.
+		`package p
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int //scip:guardedby mu
+}
+
+//scip:locked mu
+func (s *S) bump() { s.n++ }
+
+func use(s *S) {
+	s.mu.Lock()
+	s.bump()
+	s.mu.Unlock()
+}
+`,
+		// Clock reads and unsafe arena strings (imports unresolved under
+		// the nil importer: the analyzers must tolerate missing type info).
+		`package p
+
+import (
+	"time"
+	"unsafe"
+)
+
+var buf [8]byte
+
+func now() int64 { return time.Now().UnixNano() }
+func arena() string { return unsafe.String(&buf[0], 8) }
+`,
+		// Methods without bodies, blank names, odd-but-parseable shapes.
+		`package p
+
+type T struct{}
+
+func (T) m()
+func _() {}
+var x = func() {}
+`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		fset := token.NewFileSet()
+		file, err := parser.ParseFile(fset, "fuzz.go", src, parser.ParseComments)
+		if err != nil {
+			t.Skip()
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Error: func(error) {}} // keep whatever checks
+		tpkg, _ := conf.Check("fuzz/internal/server", fset, []*ast.File{file}, info)
+		if tpkg == nil {
+			t.Skip()
+		}
+		pkg := &Package{
+			Path:  "fuzz/internal/server",
+			Dir:   ".",
+			Fset:  fset,
+			Files: []*ast.File{file},
+			Types: tpkg,
+			Info:  info,
+		}
+		mod := NewModule([]*Package{pkg})
+		mod.HotSet()
+		VetModule(Analyzers(), mod) // diagnostics are fine; panics are not
+	})
+}

@@ -2,9 +2,12 @@ package analysis
 
 import "strings"
 
-// Analyzers returns every registered analyzer in a stable order.
+// Analyzers returns every registered analyzer in a stable order. The
+// first five are the per-file syntactic checks from scip-vet v1; the
+// last four are the interprocedural, flow-aware checks built on the
+// module call graph (module.go).
 func Analyzers() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Nocopy, Atomicmix, Pkgdoc}
+	return []*Analyzer{Detrand, Maporder, Nocopy, Atomicmix, Pkgdoc, Hotalloc, Clocktaint, Guardedby, Arenalife}
 }
 
 // DetrandPaths lists the import-path suffixes of the packages whose
@@ -27,12 +30,27 @@ var DetrandPaths = []string{
 	"internal/zro",
 }
 
+// ClockSinkPaths lists the import-path suffixes of the packages holding
+// deterministic decision state for the clocktaint analyzer: everything
+// detrand already guards, plus the cache/policy layers that detrand
+// exempts (they host the policies and must not absorb wall-clock values
+// through any call chain even though drivers time them from outside).
+var ClockSinkPaths = append(append([]string{}, DetrandPaths...),
+	"internal/cache",
+	"internal/policies",
+	"internal/admission",
+	"internal/shard",
+)
+
 // Applies reports whether analyzer a runs over the package at pkgPath.
 // Maporder, Nocopy and Atomicmix guard every package; Detrand is scoped
 // to the deterministic-replay packages (DetrandPaths), because drivers
 // and reporting code read wall clocks by design; Pkgdoc is scoped to
 // internal/ packages — commands document themselves in their main file
-// and are checked by convention, not the analyzer.
+// and are checked by convention, not the analyzer. Of the flow-aware
+// analyzers, Hotalloc/Clocktaint/Guardedby run everywhere (their
+// annotations decide what is checked), while Arenalife is scoped to the
+// server package that owns the request arena.
 func Applies(a *Analyzer, pkgPath string) bool {
 	switch a {
 	case Detrand:
@@ -44,6 +62,8 @@ func Applies(a *Analyzer, pkgPath string) bool {
 		return false
 	case Pkgdoc:
 		return strings.Contains(pkgPath, "/internal/")
+	case Arenalife:
+		return strings.HasSuffix(pkgPath, "internal/server")
 	}
 	return true
 }

@@ -1,0 +1,38 @@
+// Package serverfix exercises the arena-lifetime analyzer: its import
+// path ends in internal/server, the only scope where arenalife runs.
+// Strings built with unsafe.String over a pooled buffer must not
+// outlive the request.
+package serverfix
+
+import (
+	"net/http"
+	"unsafe"
+)
+
+type resp struct {
+	tag string
+}
+
+var pool [32]byte
+
+// mkArena is an itoa-style constructor: its own escaping return carries
+// the suppression, and arenalife tracks its callers instead.
+func mkArena(n int) string {
+	buf := pool[:n]
+	return unsafe.String(&buf[0], len(buf)) //scip:arena-ok constructor: arenalife tracks the callers instead
+}
+
+func escapes(n int) string {
+	s := unsafe.String(&pool[0], n)
+	return s // want "arena-backed string escapes via return"
+}
+
+func stored(r *resp, n int) {
+	s := mkArena(n)
+	r.tag = s // want "arena-backed string stored through r.tag outlives the request scope"
+}
+
+func headerNoBody(h http.Header, n int) {
+	s := mkArena(n)
+	h.Set("X-Size", s) // want "arena-backed header value with no body write before return"
+}

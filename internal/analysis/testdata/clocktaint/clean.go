@@ -1,0 +1,21 @@
+package clocktaint
+
+import (
+	"time"
+
+	sink "fixture/clocktaint/internal/cache"
+)
+
+// Untainted values may flow into the sink freely, and a clock read
+// sanctioned at the source with a justified //scip:wallclock-ok kills
+// the taint for everything derived from it.
+
+func cleanFlow(n int64) int64 {
+	return sink.Tune(n + 1)
+}
+
+func meteredOnly() int64 {
+	start := time.Now()                        //scip:wallclock-ok logging-only timing, never a decision
+	elapsed := time.Since(start).Nanoseconds() //scip:wallclock-ok logging-only timing, never a decision
+	return sink.Tune(elapsed)
+}

@@ -1,0 +1,44 @@
+// Package clocktaint exercises the interprocedural wall-clock taint
+// analyzer: time.Now/Since-derived values may not reach the sink
+// package (import path suffix internal/cache) through any call chain.
+package clocktaint
+
+import (
+	"time"
+
+	sink "fixture/clocktaint/internal/cache"
+)
+
+// now launders a clock read through a helper: the summary marks its
+// return as clock-tainted.
+func now() int64 { return time.Now().UnixNano() }
+
+func direct() {
+	sink.Tune(time.Now().UnixNano()) // want "wall-clock-derived value reaches deterministic state"
+}
+
+func throughHelper() {
+	v := now()
+	sink.Tune(v) // want "wall-clock-derived value reaches deterministic state"
+}
+
+// relay's parameter flows to a sink, so its summary carries toSink and
+// the diagnostic lands at the tainted call site.
+func relay(v int64) { sink.Tune(v) }
+
+func throughParam() {
+	relay(now()) // want "wall-clock-derived value reaches deterministic state"
+}
+
+func fieldWrite(c *sink.Config) {
+	c.Deadline = now() // want "wall-clock-derived value reaches deterministic state"
+}
+
+func literal() sink.Config {
+	return sink.Config{Deadline: now()} // want "wall-clock-derived value reaches deterministic state"
+}
+
+func methodSink(c *sink.Config) {
+	d := time.Since(time.Unix(0, 0)).Nanoseconds()
+	c.Observe(d) // want "wall-clock-derived value reaches deterministic state"
+}

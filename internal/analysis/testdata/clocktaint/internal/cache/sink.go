@@ -1,0 +1,16 @@
+// Package cachefix stands in for a decision-state package: its import
+// path ends in internal/cache, which clocktaint treats as a sink — no
+// wall-clock-derived value may reach its functions, fields or literals.
+package cachefix
+
+// Config is decision state.
+type Config struct {
+	Deadline int64
+	Window   int64
+}
+
+// Tune feeds a value into decision state.
+func Tune(v int64) int64 { return v * 2 }
+
+// Observe is a method sink.
+func (c *Config) Observe(v int64) { c.Window = v }

@@ -1,0 +1,15 @@
+package clocktaint
+
+import (
+	"time"
+
+	sink "fixture/clocktaint/internal/cache"
+)
+
+// A justified //scip:wallclock-ok at the sink line silences the finding
+// when the flow is deliberate.
+
+func acceptedFlow() int64 {
+	v := time.Now().UnixNano()
+	return sink.Tune(v) //scip:wallclock-ok deliberate: seeding the window from boot time is part of the fixture contract
+}

@@ -1,0 +1,49 @@
+package guardedby
+
+// Properly locked accesses, deferred unlocks, the unlock-then-return
+// early exit, and //scip:locked call sites under a held lock are all
+// accepted.
+
+func lockedWrite(s *S) {
+	s.mu.Lock()
+	s.n = 1
+	s.mu.Unlock()
+}
+
+func deferredUnlock(s *S) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.n++
+	return s.n
+}
+
+func earlyExit(s *S, quick bool) int {
+	s.mu.Lock()
+	if quick {
+		v := s.n
+		s.mu.Unlock()
+		return v
+	}
+	s.n = 7
+	s.mu.Unlock()
+	return 0
+}
+
+func rlockedRead(r *R) int {
+	r.mu.RLock()
+	v := r.v
+	r.mu.RUnlock()
+	return v
+}
+
+func callUnderLock(s *S) {
+	s.mu.Lock()
+	s.bumpLocked()
+	s.mu.Unlock()
+}
+
+//scip:locked mu
+func (s *S) doubleLocked() {
+	s.n = 9        // own accesses accepted: callers hold mu
+	s.bumpLocked() // locked-to-locked call accepted
+}

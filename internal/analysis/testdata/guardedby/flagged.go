@@ -1,0 +1,50 @@
+// Package guardedby exercises the lock-discipline analyzer: fields
+// annotated //scip:guardedby <field> may only be touched while the
+// named sibling mutex is provably held lexically.
+package guardedby
+
+import "sync"
+
+type S struct {
+	mu sync.Mutex
+	n  int //scip:guardedby mu
+}
+
+type R struct {
+	mu sync.RWMutex
+	v  int //scip:guardedby mu
+}
+
+type Bad struct {
+	lock int
+	//scip:guardedby lock
+	x int // want "//scip:guardedby lock: lock is not a sync.Mutex/RWMutex field of Bad"
+}
+
+func unlockedRead(s *S) int {
+	return s.n // want "read of S.n without holding mu"
+}
+
+func unlockedWrite(s *S) {
+	s.n = 1 // want "write of S.n without holding mu"
+}
+
+func afterUnlock(s *S) {
+	s.mu.Lock()
+	s.n = 2
+	s.mu.Unlock()
+	s.n = 3 // want "write of S.n without holding mu"
+}
+
+func writeUnderRLock(r *R) {
+	r.mu.RLock()
+	r.v = 3 // want "write of R.v without holding mu .write lock; RLock only covers reads."
+	r.mu.RUnlock()
+}
+
+//scip:locked mu
+func (s *S) bumpLocked() { s.n++ }
+
+func callWithoutLock(s *S) {
+	s.bumpLocked() // want "requires mu held \\(//scip:locked\\)"
+}

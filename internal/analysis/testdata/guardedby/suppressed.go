@@ -1,0 +1,10 @@
+package guardedby
+
+// Construction-time access before the value is shared is declared with
+// a justified //scip:lock-ok.
+
+func newS() *S {
+	s := &S{}
+	s.n = 42 //scip:lock-ok construction: s is not yet shared with any other goroutine
+	return s
+}

@@ -1,0 +1,32 @@
+package hotalloc
+
+// Clean hot path: arithmetic, stack values, map reads and calls into
+// other allocation-free functions stay silent, and a //scip:coldpath
+// boundary stops the traversal before an allocating slow path.
+
+//scip:hotpath
+func cleanRoot(xs []int, m map[int]int) int {
+	total := 0
+	for _, x := range xs {
+		total += x * 2
+	}
+	total += m[7]
+	v := state{} // by-value struct literal lives on the stack
+	total += cleanHelper(total) + v.step()
+	if total < 0 {
+		total += coldRebuild(len(xs))
+	}
+	return total
+}
+
+func cleanHelper(n int) int { return n + 1 }
+
+func (st state) step() int { return len(st.buf) }
+
+// coldRebuild is an intentionally allocating slow path; the coldpath
+// annotation stops the hot-set traversal here.
+//
+//scip:coldpath rebuild path allocates by design
+func coldRebuild(n int) int {
+	return len(make([]int, n))
+}

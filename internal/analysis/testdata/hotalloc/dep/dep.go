@@ -1,0 +1,9 @@
+// Package dep is imported by the hotalloc fixture root so the analyzer
+// must follow a cross-package static call edge into it.
+package dep
+
+// Alloc is reached from the root package's hot set.
+func Alloc(n int) int {
+	v := make([]int, n) // want "make allocates .hot via root \\(\\*hotalloc.state\\).Root"
+	return len(v)
+}

@@ -1,0 +1,54 @@
+// Package hotalloc exercises the hot-path allocation analyzer: every
+// construct that can heap-allocate must be flagged inside the hot set,
+// including transitively reached functions in the same and in imported
+// fixture packages.
+package hotalloc
+
+import (
+	"fixture/hotalloc/dep"
+)
+
+// Worker is a policy-like interface so dynamic dispatch is exercised.
+type Worker interface{ Work(n int) int }
+
+type state struct {
+	w    Worker
+	hook func(int)
+	buf  []int
+	s    string
+}
+
+//scip:hotpath
+func (st *state) Root(n int) int {
+	s := make([]int, n)           // want "make allocates"
+	p := new(int)                 // want "new allocates"
+	grown := append(s, n)         // want "append may grow its backing array"
+	lit := []int{1, 2}            // want "slice literal allocates"
+	m := map[int]int{}            // want "map literal allocates"
+	e := &state{}                 // want "&composite literal escapes to the heap"
+	st.s = st.s + "x"             // want "string concatenation allocates"
+	b := []byte(st.s)             // want "string-to-slice conversion copies"
+	cl := func() int { return n } // want "func literal allocates a closure"
+	go helperClean(n)             // want "go statement allocates a goroutine"
+	st.w.Work(n)                  // want "dynamic call \\(hotalloc.Worker.Work\\) cannot be proven allocation-free"
+	st.hook(n)                    // want "dynamic call \\(function value st.hook\\) cannot be proven allocation-free"
+	var any1 interface{}
+	any1 = n // want "assignment boxes a int into interface\\{\\}"
+	_ = any1
+	return helperAllocates(n) + len(grown) + len(lit) + len(m) + len(b) + *p + e.buf[0] + cl() + dep.Alloc(n) // want "dynamic call \\(function value cl\\) cannot be proven allocation-free"
+}
+
+// helperAllocates is hot only transitively, through Root.
+func helperAllocates(n int) int {
+	v := make([]int, n) // want "make allocates .hot via root \\(\\*hotalloc.state\\).Root"
+	return len(v)
+}
+
+func helperClean(n int) int { return n * 2 }
+
+//scip:hotpath
+func selfAppendIsFine(st *state, n int) {
+	st.buf = st.buf[:0]
+	st.buf = append(st.buf, n)        // amortised pooled growth: not flagged
+	st.buf = append(st.buf[:0], n, n) // resliced self-append: not flagged
+}

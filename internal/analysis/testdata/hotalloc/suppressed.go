@@ -1,0 +1,12 @@
+package hotalloc
+
+// Suppression handling: a justified //scip:alloc-ok silences a finding,
+// a bare one surfaces as needs-a-justification.
+
+//scip:hotpath
+func suppressedRoot(n int) int {
+	a := make([]int, n) //scip:alloc-ok warmup buffer, reused afterwards
+	//scip:alloc-ok
+	b := make([]int, n) // want "suppression //scip:alloc-ok needs a justification"
+	return len(a) + len(b)
+}

@@ -65,6 +65,7 @@ func (h *History) Add(key uint64, size int64, res Residency) {
 		h.q.Remove(old)
 		delete(h.index, old.Key)
 	}
+	//scip:alloc-ok a never-recorded key allocates its metadata record; a stable working set refreshes in place
 	e := &Entry{Key: key, Size: size, Residency: res}
 	h.q.PushFront(e)
 	h.index[key] = e

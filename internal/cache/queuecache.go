@@ -106,17 +106,19 @@ func (c *QueueCache) SetInsertion(ins InsertionPolicy) {
 }
 
 // Access implements Policy.
+//
+//scip:hotpath
 func (c *QueueCache) Access(req Request) bool {
 	e, hit := c.index[req.Key]
 	if c.ins != nil {
-		c.ins.OnAccess(req, hit)
+		c.ins.OnAccess(req, hit) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting (core.SCIP)
 	}
 	if hit {
 		e.Hits++
 		e.Freq++
 		e.LastAccess = req.Time
 		if c.resObs != nil {
-			c.resObs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits)
+			c.resObs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 		}
 		c.promote(e, req)
 		return true
@@ -137,7 +139,7 @@ func (c *QueueCache) promote(e *Entry, req Request) {
 		c.q.MoveToFront(e)
 		return
 	}
-	pos := c.ins.ChoosePromote(req)
+	pos := c.ins.ChoosePromote(req) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 	c.q.Remove(e)
 	// The promotion starts a fresh residency: Hits restarts so a later
 	// eviction can report whether the promoted object was ever hit again
@@ -163,7 +165,7 @@ func (c *QueueCache) insert(req Request) {
 		c.free = e.next
 		*e = Entry{}
 	} else {
-		e = &Entry{}
+		e = &Entry{} //scip:alloc-ok freelist warmup: steady-state inserts reuse evicted entries
 	}
 	e.Key = req.Key
 	e.Size = req.Size
@@ -172,7 +174,7 @@ func (c *QueueCache) insert(req Request) {
 	e.Freq = 1
 	pos := MRU
 	if c.ins != nil {
-		pos = c.ins.ChooseInsert(req)
+		pos = c.ins.ChooseInsert(req) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 	}
 	c.place(e, pos)
 	c.index[req.Key] = e
@@ -197,6 +199,7 @@ func (c *QueueCache) evictOne() {
 	delete(c.index, victim.Key)
 	c.evictions++
 	if c.ins != nil {
+		//scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 		c.ins.OnEvict(EvictInfo{
 			Key:         victim.Key,
 			Size:        victim.Size,
@@ -206,7 +209,7 @@ func (c *QueueCache) evictOne() {
 		})
 	}
 	if c.EvictHook != nil {
-		c.EvictHook(victim)
+		c.EvictHook(victim) //scip:alloc-ok instrumentation hook (ZRO meters, duel bookkeeping); nil on production serving paths
 	}
 	// Recycle after the hooks have seen the victim's final state.
 	victim.next = c.free

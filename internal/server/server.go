@@ -143,7 +143,7 @@ func New(cfg Config) (*Server, error) {
 		st:      c.EnableStats(),
 		flights: make([]flightGroup, c.Shards()),
 		bodies:  make([]*bodyStore, c.Shards()),
-		start:   time.Now(),
+		start:   time.Now(), //scip:wallclock-ok uptime metadata for /metrics and /statusz, never a cache decision
 	}
 	// Mirror shard.New's exact byte split so each shard's body store is
 	// bounded by its shard's policy capacity.
@@ -218,10 +218,12 @@ func (s *Server) instrument(next http.Handler) http.Handler {
 // reqMeta extracts key and the optional size/t query parameters. The
 // query is scanned in place (parseQuery) rather than through
 // r.URL.Query(), whose map was the dominant per-request allocation.
+//
+//scip:hotpath
 func reqMeta(r *http.Request) (key uint64, size int64, t int64, err error) {
 	key, err = strconv.ParseUint(r.PathValue("key"), 10, 64)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("bad key: %w", err)
+		return 0, 0, 0, fmt.Errorf("bad key: %w", err) //scip:alloc-ok bad-request path: formats only on malformed input
 	}
 	size, t, err = parseQuery(r.URL.RawQuery)
 	if err != nil {
@@ -232,6 +234,8 @@ func reqMeta(r *http.Request) (key uint64, size int64, t int64, err error) {
 
 // tick resolves a request's logical timestamp: the declared t, or the
 // next server-local tick.
+//
+//scip:hotpath
 func (s *Server) tick(t int64) int64 {
 	if t >= 0 {
 		return t
@@ -244,6 +248,8 @@ func (s *Server) tick(t int64) int64 {
 // does not abort the flight for everyone else; each attempt is bounded
 // by OriginTimeout and retries back off exponentially from
 // OriginBackoff.
+//
+//scip:coldpath origin fetch: the miss path pays contexts, timers and the flight closure by design
 func (s *Server) fetchOrigin(r *http.Request, shardIdx int, key uint64, size int64) flightResult {
 	ctx := context.WithoutCancel(r.Context())
 	res, shared := s.flights[shardIdx].do(key, func() flightResult {
@@ -287,6 +293,8 @@ func (s *Server) fetchOrigin(r *http.Request, shardIdx int, key uint64, size int
 // because this path always writes a body, and net/http serialises the
 // header block during the first body write — before the handler returns
 // and the arena is recycled (see the reqScope lifetime rule).
+//
+//scip:hotpath
 func (s *Server) serveBody(w http.ResponseWriter, cacheState string, shardIdx int, objSize int64, body []byte) {
 	sc := scopeOf(w)
 	h := w.Header()
@@ -299,10 +307,11 @@ func (s *Server) serveBody(w http.ResponseWriter, cacheState string, shardIdx in
 	w.Write(body)
 }
 
+//scip:hotpath
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	key, size, t, err := reqMeta(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest) //scip:alloc-ok bad-request path
 		return
 	}
 	shardIdx := s.cache.ShardIndex(key)
@@ -350,6 +359,8 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 // finishWithError ends a GET whose origin fetch failed: a stale body if
 // degradation is enabled and one survives, a 502 otherwise.
+//
+//scip:coldpath error path: origin failures may allocate for the 502/stale response
 func (s *Server) finishWithError(w http.ResponseWriter, shardIdx int, key uint64, err error) {
 	if s.cfg.ServeStale {
 		if body, ok := s.copyBody(w, shardIdx, key); ok {
@@ -365,6 +376,8 @@ func (s *Server) finishWithError(w http.ResponseWriter, shardIdx int, key uint64
 // owns its entry buffers and reuses them in place on refresh, so the
 // serving path must not hold store memory outside the store lock; the
 // copy is what makes that reuse safe (see bodyStore.put).
+//
+//scip:hotpath
 func (s *Server) copyBody(w http.ResponseWriter, shardIdx int, key uint64) ([]byte, bool) {
 	sc := scopeOf(w)
 	var dst []byte
@@ -384,6 +397,8 @@ func (s *Server) copyBody(w http.ResponseWriter, shardIdx int, key uint64) ([]by
 // previous completion timestamp, stats.LatencyTicker) it must pay two
 // clock reads per request to time the access; Config.NoLatency trades
 // the histogram away to eliminate them.
+//
+//scip:hotpath
 func (s *Server) access(key uint64, size, t int64) bool {
 	if s.cfg.NoLatency {
 		return s.cache.Access(cache.Request{Time: t, Key: key, Size: size})
@@ -398,22 +413,24 @@ func (s *Server) access(key uint64, size, t int64) bool {
 // headers after the handler returns — after the arena is recycled. Every
 // header value on this path is therefore a constant or a precomputed
 // string, never arena memory (see the reqScope lifetime rule).
+//
+//scip:hotpath
 func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	key, size, t, err := reqMeta(r)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		http.Error(w, err.Error(), http.StatusBadRequest) //scip:alloc-ok bad-request path
 		return
 	}
 	body, err := scopeOf(w).readBody(w, r, s.cfg.MaxBodyBytes)
 	if err != nil {
-		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge)
+		http.Error(w, "body: "+err.Error(), http.StatusRequestEntityTooLarge) //scip:alloc-ok bad-request path
 		return
 	}
 	if size < 0 {
 		size = int64(len(body))
 	}
 	if size <= 0 {
-		http.Error(w, "empty object: declare ?size= or send a body", http.StatusBadRequest)
+		http.Error(w, "empty object: declare ?size= or send a body", http.StatusBadRequest) //scip:alloc-ok bad-request path
 		return
 	}
 	shardIdx := s.cache.ShardIndex(key)

@@ -25,7 +25,7 @@ type flight struct {
 // bookkeeping never contends across shards.
 type flightGroup struct {
 	mu sync.Mutex
-	m  map[uint64]*flight
+	m  map[uint64]*flight //scip:guardedby mu
 }
 
 // do runs fn for key, sharing the execution with concurrent callers.

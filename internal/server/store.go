@@ -17,10 +17,11 @@ type bodyEntry struct {
 // whose body survives is what serve-stale degradation serves — and both
 // disagreements are counted, not hidden (see the scip_server_* metrics).
 type bodyStore struct {
-	mu         sync.Mutex
-	capBytes   int64
-	used       int64
-	m          map[uint64]*bodyEntry
+	mu       sync.Mutex
+	capBytes int64
+	used     int64                 //scip:guardedby mu
+	m        map[uint64]*bodyEntry //scip:guardedby mu
+	//scip:guardedby mu
 	head, tail *bodyEntry // head = most recent
 }
 
@@ -42,6 +43,7 @@ func (s *bodyStore) get(key uint64, dst []byte) ([]byte, bool) {
 	}
 	s.unlink(e)
 	s.pushFront(e)
+	//scip:alloc-ok appends into the caller's arena buffer; growth amortises to the arena's high-water mark
 	return append(dst, e.body...), true
 }
 
@@ -63,7 +65,7 @@ func (s *bodyStore) put(key uint64, body []byte) {
 		s.unlink(e)
 		s.pushFront(e)
 	} else {
-		e := &bodyEntry{key: key, body: append([]byte(nil), body...)}
+		e := &bodyEntry{key: key, body: append([]byte(nil), body...)} //scip:alloc-ok first insert of a key allocates its entry; refreshes reuse the buffer in place
 		s.m[key] = e
 		s.pushFront(e)
 		s.used += n
@@ -90,6 +92,7 @@ func (s *bodyStore) delete(key uint64) bool {
 	return true
 }
 
+//scip:locked mu
 func (s *bodyStore) pushFront(e *bodyEntry) {
 	e.prev = nil
 	e.next = s.head
@@ -102,6 +105,7 @@ func (s *bodyStore) pushFront(e *bodyEntry) {
 	}
 }
 
+//scip:locked mu
 func (s *bodyStore) unlink(e *bodyEntry) {
 	if e.prev != nil {
 		e.prev.next = e.next

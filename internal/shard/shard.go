@@ -113,7 +113,7 @@ const slotPad = 64 - slotDataSize%64
 // contention. The package test asserts the size is a cache-line multiple.
 type shardSlot struct {
 	mu sync.Mutex
-	p  cache.Policy
+	p  cache.Policy //scip:guardedby mu
 	_  [slotPad]byte
 }
 
@@ -167,8 +167,8 @@ func New(name string, capBytes int64, n int, build Builder, opts ...Option) (*Ca
 		if int64(i) < rem {
 			per++
 		}
-		c.shards[i].p = build(per, i)
-		if c.shards[i].p == nil {
+		c.shards[i].p = build(per, i) //scip:lock-ok construction: the cache is not yet shared
+		if c.shards[i].p == nil {     //scip:lock-ok construction: the cache is not yet shared
 			return nil, fmt.Errorf("shard: builder returned nil for shard %d", i)
 		}
 	}
@@ -189,6 +189,8 @@ func New(name string, capBytes int64, n int, build Builder, opts ...Option) (*Ca
 // the lock) — holding it only keeps the direct control-plane methods
 // (Used, Reset, Remove, ...) safe without routing them through the
 // actor, so they keep working even after Close.
+//
+//scip:hotpath
 func (c *Cache) runActor(i int) {
 	defer c.actorWG.Done()
 	s := &c.shards[i]
@@ -196,7 +198,7 @@ func (c *Cache) runActor(i int) {
 		s.mu.Lock()
 		var hits int
 		if m.reqs == nil {
-			if s.p.Access(m.req) {
+			if s.p.Access(m.req) { //scip:alloc-ok shard policies carry their own //scip:hotpath vetting
 				hits = 1
 			}
 			if c.st != nil {
@@ -205,7 +207,7 @@ func (c *Cache) runActor(i int) {
 		} else {
 			var bytesReq, bytesHit int64
 			for j, req := range m.reqs {
-				hit := s.p.Access(req)
+				hit := s.p.Access(req) //scip:alloc-ok shard policies carry their own //scip:hotpath vetting
 				if m.hits != nil {
 					m.hits[j] = hit
 				}
@@ -226,11 +228,14 @@ func (c *Cache) runActor(i int) {
 
 // observeLocked records a completed access or batch on shard i. Caller
 // holds the shard lock (the gauge reads need it).
+//
+//scip:hotpath
+//scip:locked mu
 func (c *Cache) observeLocked(i int, n, hits, bytesReq, bytesHit int64) {
-	used := c.shards[i].p.Used()
+	used := c.shards[i].p.Used() //scip:alloc-ok counter read on a vetted policy
 	var ev int64
 	if ec := c.evc[i]; ec != nil {
-		ev = ec.Evictions()
+		ev = ec.Evictions() //scip:alloc-ok counter read on a vetted policy
 	}
 	c.st.ObserveBatch(i, n, hits, bytesReq, bytesHit, used, ev)
 }
@@ -272,7 +277,7 @@ func (c *Cache) EnableStats() *stats.Stats {
 	c.st = stats.New(len(c.shards))
 	c.evc = make([]cache.EvictionCounter, len(c.shards))
 	for i := range c.shards {
-		c.evc[i], _ = c.shards[i].p.(cache.EvictionCounter)
+		c.evc[i], _ = c.shards[i].p.(cache.EvictionCounter) //scip:lock-ok EnableStats must precede sharing the cache (documented)
 	}
 	return c.st
 }
@@ -283,12 +288,16 @@ func (c *Cache) Stats() *stats.Stats { return c.st }
 // ShardIndex returns the shard the key is routed to. Load drivers use it
 // to partition a trace by shard so per-shard request order (and therefore
 // every per-shard policy decision) is independent of the worker count.
+//
+//scip:hotpath
 func (c *Cache) ShardIndex(key uint64) int {
 	h := key * 0x9E3779B97F4A7C15
 	return int((h >> 40) & c.mask)
 }
 
 // Access implements cache.Policy; safe for concurrent use.
+//
+//scip:hotpath
 func (c *Cache) Access(req cache.Request) bool {
 	idx := c.ShardIndex(req.Key)
 	if c.mode == ModeActor {
@@ -300,7 +309,7 @@ func (c *Cache) Access(req cache.Request) bool {
 	}
 	s := &c.shards[idx]
 	s.mu.Lock()
-	hit := s.p.Access(req)
+	hit := s.p.Access(req) //scip:alloc-ok shard policies carry their own //scip:hotpath vetting
 	if c.st == nil {
 		s.mu.Unlock()
 		return hit
@@ -323,11 +332,14 @@ func (c *Cache) Access(req cache.Request) bool {
 // byte-identical to len(reqs) serial Access calls. hits, when non-nil,
 // must have len(reqs) elements and receives each request's outcome.
 // AccessBatch returns the batch hit count.
+//
+//scip:hotpath
 func (c *Cache) AccessBatch(idx int, reqs []cache.Request, hits []bool) int {
 	if len(reqs) == 0 {
 		return 0
 	}
 	if hits != nil && len(hits) != len(reqs) {
+		//scip:alloc-ok panic-message formatting on a programming error
 		panic(fmt.Sprintf("shard: AccessBatch hits length %d != reqs length %d", len(hits), len(reqs)))
 	}
 	if c.mode == ModeActor {
@@ -342,7 +354,7 @@ func (c *Cache) AccessBatch(idx int, reqs []cache.Request, hits []bool) int {
 	var bytesReq, bytesHit int64
 	s.mu.Lock()
 	for j, req := range reqs {
-		hit := s.p.Access(req)
+		hit := s.p.Access(req) //scip:alloc-ok shard policies carry their own //scip:hotpath vetting
 		if hits != nil {
 			hits[j] = hit
 		}
