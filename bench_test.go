@@ -115,18 +115,24 @@ func BenchmarkAccessSCIP(b *testing.B) {
 }
 
 func BenchmarkQueuePushEvict(b *testing.B) {
-	var q cache.Queue
-	entries := make([]cache.Entry, 1024)
-	for i := range entries {
-		entries[i] = cache.Entry{Key: uint64(i), Size: 1}
+	var a cache.Arena
+	a.Reserve(1024)
+	q := a.NewQueue()
+	handles := make([]cache.Handle, 1024)
+	for i := range handles {
+		h := a.Alloc()
+		e := a.At(h)
+		e.Key = uint64(i)
+		e.Size = 1
+		handles[i] = h
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e := &entries[i%1024]
-		if e.InQueue() {
-			q.Remove(e)
+		h := handles[i%1024]
+		if a.At(h).InQueue() {
+			q.Remove(h)
 		}
-		q.PushFront(e)
+		q.PushFront(h)
 		if q.Len() > 512 {
 			q.Remove(q.Back())
 		}

@@ -10,8 +10,9 @@
 //
 //	scip-load [-profile CDN-T] [-scale 0.01] [-seed 1] [-trace file] [-csv|-lrb]
 //	    [-policy SCIP] [-cache 655MiB] [-shards 8] [-workers N] [-repeat 1]
-//	    [-mode mutex|actor] [-batch N] [-depth N] [-nolat]
+//	    [-mode mutex|actor] [-batch N] [-depth N] [-nolat] [-gcstats]
 //	    [-interval 1s] [-json LOAD.json] [-scalebench BENCH.json]
+//	    [-gcbench BENCH.json] [-gcobjects 1000000]
 //	    [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // The trace is partitioned by shard, not by request index: every shard's
@@ -28,7 +29,10 @@
 // only clock reads. None of the three changes a single counter
 // (TestModeInvariance). -scalebench replays the workers x GOMAXPROCS x
 // mode matrix instead of a single run and merges it into the given JSON
-// file as the scale_matrix section.
+// file as the scale_matrix section. -gcbench runs the GC-pressure
+// matrix (scannable-heap bytes per resident object, churn pause cost)
+// and merges it as gc_matrix; -gcstats adds a live GC column to the
+// interval reports of an ordinary run.
 package main
 
 import (
@@ -68,8 +72,10 @@ func buildSharded(policy string, capBytes int64, shards int, seed int64, opts ..
 // timestamp as request N+1's start — valid because workers are
 // closed-loop). It reports interval snapshots to out every `interval`
 // (0 disables) and returns the final cumulative snapshot and the elapsed
-// wall time.
-func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat bool, interval time.Duration, out io.Writer) (stats.Snapshot, time.Duration) {
+// wall time. gcstats adds a GC delta column to each interval report —
+// cycles, pause time and scannable heap — so a long replay shows live
+// whether the pointer-free core is keeping GC cost flat.
+func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat, gcstats bool, interval time.Duration, out io.Writer) (stats.Snapshot, time.Duration) {
 	st := c.Stats()
 	if st == nil {
 		st = c.EnableStats()
@@ -107,6 +113,7 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat 
 			defer tick.Stop()
 			prev := st.Snapshot()
 			prevT := time.Now() //scip:wallclock-ok console metering: interval report timestamps
+			prevGC := stats.ReadGC()
 			for {
 				select {
 				case <-stop:
@@ -115,6 +122,14 @@ func runLoad(tr *trace.Trace, c *shard.Cache, workers, repeat, batch int, nolat 
 					cur := st.Snapshot()
 					fmt.Fprintln(out, sim.FormatLoadInterval(now.Sub(start), now.Sub(prevT), cur.Sub(prev)))
 					fmt.Fprintln(out, "  "+sim.FormatShardOccupancy(cur))
+					if gcstats {
+						gc := stats.ReadGC()
+						fmt.Fprintf(out, "  gc: +%d cycles  pause +%s  heap-scan %.1f MiB  objects %d\n",
+							gc.NumGC-prevGC.NumGC,
+							(gc.PauseTotal - prevGC.PauseTotal).Round(time.Microsecond),
+							float64(gc.HeapScanBytes)/(1<<20), gc.HeapObjects)
+						prevGC = gc
+					}
 					prev, prevT = cur, now
 				}
 			}
@@ -201,9 +216,12 @@ func main() {
 	batch := flag.Int("batch", 1, "requests per AccessBatch call (amortises one lock/handoff per batch; <=1 = per-request)")
 	depth := flag.Int("depth", 0, "actor mailbox depth with -mode actor (0 = shard package default)")
 	nolat := flag.Bool("nolat", false, "skip per-request latency timing (drops the replay's only clock reads)")
+	gcstats := flag.Bool("gcstats", false, "add a GC column (cycles, pause, heap-scan bytes) to each interval report")
 	interval := flag.Duration("interval", 1*time.Second, "live snapshot period (0 disables)")
 	jsonPath := flag.String("json", "LOAD.json", "write the final report as JSON to this path (empty disables)")
 	scalebench := flag.String("scalebench", "", "replay the workers x GOMAXPROCS x mode matrix and merge it into this JSON file as scale_matrix, then exit")
+	gcbench := flag.String("gcbench", "", "run the GC-pressure matrix (heap-scan bytes and pause deltas per working-set size) and merge it into this JSON file as gc_matrix, then exit")
+	gcobjects := flag.Int("gcobjects", 1_000_000, "largest resident working set, in objects, for -gcbench")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this path on exit")
 	flag.Parse()
@@ -280,6 +298,13 @@ func main() {
 		return
 	}
 
+	if *gcbench != "" {
+		if err := runGCBench(tr, *policy, *shards, *seed, *gcobjects, *gcbench); err != nil {
+			fail(err)
+		}
+		return
+	}
+
 	mode, err := shard.ParseMode(*modeFlag)
 	if err != nil {
 		fail(err)
@@ -300,7 +325,7 @@ func main() {
 	fmt.Printf("scip-load: %s  trace=%s (%d requests x%d)  cache=%.1f MiB  shards=%d  workers=%d  mode=%s batch=%d\n",
 		c.Name(), tr.Name, len(tr.Requests), *repeat, float64(capBytes)/(1<<20), c.Shards(), min(nWorkers, c.Shards()), mode, *batch)
 
-	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *batch, *nolat, *interval, os.Stdout)
+	snap, elapsed := runLoad(tr, c, nWorkers, *repeat, *batch, *nolat, *gcstats, *interval, os.Stdout)
 
 	rep := sim.BuildLoadReport(snap, elapsed)
 	rep.GeneratedUnix = time.Now().Unix() //scip:wallclock-ok report metadata: records when the run happened, never feeds a decision
@@ -425,5 +450,106 @@ func runScaleBench(tr *trace.Trace, policy string, capBytes int64, shards int, s
 		return err
 	}
 	fmt.Printf("scale_matrix merged into %s (%d cells)\n", jsonPath, len(rep.Cells))
+	return nil
+}
+
+// runGCBench measures the GC footprint of the pointer-free data plane
+// (`make bench-gc`): for each working-set size up to maxObjects and each
+// concurrency mode, it fills the cache to that many resident objects,
+// forces a GC to read how many scannable heap bytes the resident set
+// added (with slab-backed entries and a scalar index this is ~zero per
+// object, the invariant DESIGN.md §12 promises), then replays the trace
+// as churn and records the GC cycles and pause time the steady state
+// incurred. Cells merge into jsonPath as the gc_matrix section. The
+// churn miss ratio must be identical across modes at each size — the
+// serial-order invariant, cross-checked rather than assumed — and the
+// run fails on any divergence.
+func runGCBench(tr *trace.Trace, policy string, shards int, seed int64, maxObjects int, jsonPath string) error {
+	if maxObjects < 1024 {
+		maxObjects = 1024
+	}
+	const objBytes = 4096
+	// fillBase keeps fill keys disjoint from any trace key.
+	const fillBase = uint64(1) << 40
+	sizes := []int{maxObjects}
+	if maxObjects >= 10_000 {
+		sizes = []int{maxObjects / 10, maxObjects}
+	}
+	modes := []struct {
+		name  string
+		mode  shard.Mode
+		batch int
+	}{
+		{"mutex", shard.ModeMutex, 1},
+		{"batched", shard.ModeMutex, 64},
+		{"actor", shard.ModeActor, 64},
+	}
+
+	label := strings.ToUpper(policy)
+	if scorer.IsSpec(policy) {
+		label = policy
+	}
+	rep := sim.GCReport{
+		Trace:    tr.Name,
+		Policy:   label,
+		Shards:   shards,
+		Requests: len(tr.Requests),
+	}
+	fmt.Printf("scip-load gcbench: %s  trace=%s (%d churn requests)  shards=%d\n",
+		rep.Policy, tr.Name, len(tr.Requests), shards)
+	fmt.Printf("%-10s %-8s %14s %10s %9s %10s %10s\n",
+		"objects", "mode", "heapScanMiB", "scanB/obj", "gcCycles", "pause", "missRatio")
+
+	for _, n := range sizes {
+		// The fill ends at time 0 so the churn trace's native timestamps
+		// continue monotonically per shard.
+		fill := make([]cache.Request, n)
+		for i := range fill {
+			fill[i] = cache.Request{Time: int64(i - n), Key: fillBase + uint64(i), Size: objBytes}
+		}
+		wantMiss, first := 0.0, true
+		for _, m := range modes {
+			c, err := buildSharded(policy, int64(n)*objBytes, shards, seed, shard.WithMode(m.mode))
+			if err != nil {
+				return err
+			}
+			runtime.GC()
+			gc0 := stats.ReadGC()
+			runner.ReplaySharded(fill, c, 1, m.batch)
+			runtime.GC()
+			gc1 := stats.ReadGC()
+			hits := runner.ReplaySharded(tr.Requests, c, 1, m.batch)
+			gc2 := stats.ReadGC()
+			c.Close()
+			miss := 1 - float64(hits)/float64(len(tr.Requests))
+			if first {
+				wantMiss, first = miss, false
+			} else if miss != wantMiss {
+				return fmt.Errorf("gcbench: objects=%d mode=%s: miss ratio %.6f != %.6f — serial-order invariant violated",
+					n, m.name, miss, wantMiss)
+			}
+			scanDelta := float64(int64(gc1.HeapScanBytes) - int64(gc0.HeapScanBytes))
+			cell := sim.GCCell{
+				Objects:         n,
+				Mode:            m.name,
+				HeapScanMiB:     scanDelta / (1 << 20),
+				ScanBytesPerObj: scanDelta / float64(n),
+				GCCycles:        gc2.NumGC - gc1.NumGC,
+				PauseMillis:     (gc2.PauseTotal - gc1.PauseTotal).Seconds() * 1e3,
+				MissRatio:       miss,
+			}
+			rep.Cells = append(rep.Cells, cell)
+			fmt.Printf("%-10d %-8s %14.2f %10.1f %9d %9.2fms %10.4f\n",
+				n, m.name, cell.HeapScanMiB, cell.ScanBytesPerObj, cell.GCCycles, cell.PauseMillis, miss)
+		}
+	}
+	rep.GeneratedUnix = time.Now().Unix() //scip:wallclock-ok report metadata: records when the run happened, never feeds a decision
+	out := struct {
+		GCMatrix sim.GCReport `json:"gc_matrix"`
+	}{rep}
+	if err := sim.MergeJSON(jsonPath, out); err != nil {
+		return err
+	}
+	fmt.Printf("gc_matrix merged into %s (%d cells)\n", jsonPath, len(rep.Cells))
 	return nil
 }

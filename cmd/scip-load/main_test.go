@@ -29,7 +29,7 @@ func TestWorkerCountInvariance(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap, _ := runLoad(tr, c, workers, 1, 1, false, 0, nil)
+		snap, _ := runLoad(tr, c, workers, 1, 1, false, false, 0, nil)
 		return snap
 	}
 	for _, policy := range []string{"SCIP", "LRU", "LRB"} {
@@ -69,7 +69,7 @@ func TestRepeatExtendsRun(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		snap, _ := runLoad(tr, c, workers, 2, 1, false, 0, nil)
+		snap, _ := runLoad(tr, c, workers, 2, 1, false, false, 0, nil)
 		return snap
 	}
 	serial, concurrent := run(1), run(4)
@@ -95,7 +95,7 @@ func TestIntervalSnapshotOutput(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	snap, _ := runLoad(tr, c, 4, 20, 1, false, 50*time.Millisecond, &out)
+	snap, _ := runLoad(tr, c, 4, 20, 1, false, true, 50*time.Millisecond, &out)
 	if snap.Totals().Requests == 0 {
 		t.Fatal("no requests replayed")
 	}
@@ -155,7 +155,7 @@ func TestModeInvariance(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				snap, _ := runLoad(tr, c, workers, 1, v.batch, true, 0, nil)
+				snap, _ := runLoad(tr, c, workers, 1, v.batch, true, false, 0, nil)
 				c.Close()
 				if first {
 					want, first = snap, false

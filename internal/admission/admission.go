@@ -24,10 +24,11 @@ type TwoQ struct {
 
 	name  string
 	cap   int64
+	arena cache.Arena
 	a1in  cache.Queue
 	am    cache.Queue
 	a1out *cache.History
-	index map[uint64]*cache.Entry
+	index cache.Index
 }
 
 // Entry.Class values for the 2Q queues.
@@ -44,14 +45,16 @@ var (
 // NewTwoQ returns a 2Q cache.
 func NewTwoQ(capBytes int64) *TwoQ {
 	const kin, kout = 0.25, 0.5
-	return &TwoQ{
+	q := &TwoQ{
 		KinFrac:  kin,
 		KoutFrac: kout,
 		name:     "2Q",
 		cap:      capBytes,
 		a1out:    cache.NewHistory(int64(kout * float64(capBytes))),
-		index:    make(map[uint64]*cache.Entry),
 	}
+	q.a1in = q.arena.NewQueue()
+	q.am = q.arena.NewQueue()
+	return q
 }
 
 // Name implements cache.Policy.
@@ -65,11 +68,12 @@ func (q *TwoQ) Used() int64 { return q.a1in.Bytes() + q.am.Bytes() }
 
 // Access implements cache.Policy.
 func (q *TwoQ) Access(req cache.Request) bool {
-	if e, ok := q.index[req.Key]; ok {
+	if h := q.index.Get(req.Key); h != cache.None {
+		e := q.arena.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		if e.Class == twoQAm {
-			q.am.MoveToFront(e)
+			q.am.MoveToFront(h)
 		}
 		// 2Q leaves A1in residents in FIFO order: a burst of correlated
 		// references must not promote.
@@ -78,16 +82,21 @@ func (q *TwoQ) Access(req cache.Request) bool {
 	if req.Size > q.cap || req.Size <= 0 {
 		return false
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time}
+	h := q.arena.Alloc()
+	e := q.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
 	if _, wasOut := q.ghost().Delete(req.Key); wasOut {
 		// Re-referenced after probation: admit to the long-term queue.
 		e.Class = twoQAm
-		q.am.PushFront(e)
+		q.am.PushFront(h)
 	} else {
 		e.Class = twoQA1in
-		q.a1in.PushFront(e)
+		q.a1in.PushFront(h)
 	}
-	q.index[req.Key] = e
+	q.index.Put(req.Key, h)
 	q.evictToFit()
 	return false
 }
@@ -110,22 +119,30 @@ func (q *TwoQ) evictToFit() {
 	kin := int64(q.KinFrac * float64(q.cap))
 	ghost := q.ghost()
 	for q.a1in.Bytes() > kin {
-		victim := q.a1in.Back()
-		q.a1in.Remove(victim)
-		delete(q.index, victim.Key)
-		ghost.Add(victim.Key, victim.Size, cache.ResInserted)
+		h := q.a1in.Back()
+		victim := q.arena.At(h)
+		key, size := victim.Key, victim.Size
+		q.a1in.Remove(h)
+		q.index.Delete(key)
+		q.arena.Free(h)
+		ghost.Add(key, size, cache.ResInserted)
 	}
 	for q.Used() > q.cap {
-		victim := q.am.Back()
-		if victim == nil {
-			victim = q.a1in.Back()
-			q.a1in.Remove(victim)
-			delete(q.index, victim.Key)
-			ghost.Add(victim.Key, victim.Size, cache.ResInserted)
+		h := q.am.Back()
+		if h == cache.None {
+			h = q.a1in.Back()
+			victim := q.arena.At(h)
+			key, size := victim.Key, victim.Size
+			q.a1in.Remove(h)
+			q.index.Delete(key)
+			q.arena.Free(h)
+			ghost.Add(key, size, cache.ResInserted)
 			continue
 		}
-		q.am.Remove(victim)
-		delete(q.index, victim.Key)
+		key := q.arena.At(h).Key
+		q.am.Remove(h)
+		q.index.Delete(key)
+		q.arena.Free(h)
 	}
 }
 
@@ -134,16 +151,16 @@ func (q *TwoQ) evictToFit() {
 // re-reference would be admitted straight to Am as if the object had
 // proved itself through probation.
 func (q *TwoQ) Remove(key uint64) bool {
-	e, ok := q.index[key]
+	h, ok := q.index.Delete(key)
 	if !ok {
 		return false
 	}
-	if e.Class == twoQAm {
-		q.am.Remove(e)
+	if q.arena.At(h).Class == twoQAm {
+		q.am.Remove(h)
 	} else {
-		q.a1in.Remove(e)
+		q.a1in.Remove(h)
 	}
-	delete(q.index, key)
+	q.arena.Free(h)
 	return true
 }
 
@@ -157,9 +174,10 @@ func (q *TwoQ) Remove(key uint64) bool {
 type TinyLFU struct {
 	name   string
 	cap    int64
+	arena  cache.Arena
 	window cache.Queue // ~1% of capacity
 	main   cache.Queue // SLRU approximated as one LRU (protection via admission)
-	index  map[uint64]*cache.Entry
+	index  cache.Index
 	sk     *Sketch
 }
 
@@ -180,12 +198,14 @@ func NewTinyLFU(capBytes int64) *TinyLFU {
 	if counters < 1024 {
 		counters = 1024
 	}
-	return &TinyLFU{
-		name:  "TinyLFU",
-		cap:   capBytes,
-		index: make(map[uint64]*cache.Entry),
-		sk:    NewSketch(counters),
+	t := &TinyLFU{
+		name: "TinyLFU",
+		cap:  capBytes,
+		sk:   NewSketch(counters),
 	}
+	t.window = t.arena.NewQueue()
+	t.main = t.arena.NewQueue()
+	return t
 }
 
 // Name implements cache.Policy.
@@ -208,22 +228,29 @@ func (t *TinyLFU) windowCap() int64 {
 // Access implements cache.Policy.
 func (t *TinyLFU) Access(req cache.Request) bool {
 	t.sk.Add(req.Key)
-	if e, ok := t.index[req.Key]; ok {
+	if h := t.index.Get(req.Key); h != cache.None {
+		e := t.arena.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		if e.Class == tlfuWindow {
-			t.window.MoveToFront(e)
+			t.window.MoveToFront(h)
 		} else {
-			t.main.MoveToFront(e)
+			t.main.MoveToFront(h)
 		}
 		return true
 	}
 	if req.Size > t.cap || req.Size <= 0 {
 		return false
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: tlfuWindow}
-	t.window.PushFront(e)
-	t.index[req.Key] = e
+	h := t.arena.Alloc()
+	e := t.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
+	e.Class = tlfuWindow
+	t.window.PushFront(h)
+	t.index.Put(req.Key, h)
 	// Window overflow: candidates graduate to main through the filter.
 	for t.window.Bytes() > t.windowCap() {
 		cand := t.window.Back()
@@ -232,31 +259,36 @@ func (t *TinyLFU) Access(req cache.Request) bool {
 	}
 	for t.Used() > t.cap {
 		victim := t.main.Back()
-		if victim == nil {
+		if victim == cache.None {
 			victim = t.window.Back()
 			t.window.Remove(victim)
 		} else {
 			t.main.Remove(victim)
 		}
-		delete(t.index, victim.Key)
+		t.index.Delete(t.arena.At(victim).Key)
+		t.arena.Free(victim)
 	}
 	return false
 }
 
 // admit moves a window candidate into main if the sketch favours it over
 // the main victim; otherwise the candidate is dropped.
-func (t *TinyLFU) admit(cand *cache.Entry) {
-	for t.main.Bytes()+cand.Size > t.cap-t.windowCap() && t.main.Len() > 0 {
+func (t *TinyLFU) admit(cand cache.Handle) {
+	c := t.arena.At(cand)
+	for t.main.Bytes()+c.Size > t.cap-t.windowCap() && t.main.Len() > 0 {
 		victim := t.main.Back()
-		if t.sk.Estimate(cand.Key) <= t.sk.Estimate(victim.Key) {
+		v := t.arena.At(victim)
+		if t.sk.Estimate(c.Key) <= t.sk.Estimate(v.Key) {
 			// Candidate loses the duel: drop it.
-			delete(t.index, cand.Key)
+			t.index.Delete(c.Key)
+			t.arena.Free(cand)
 			return
 		}
 		t.main.Remove(victim)
-		delete(t.index, victim.Key)
+		t.index.Delete(v.Key)
+		t.arena.Free(victim)
 	}
-	cand.Class = tlfuMain
+	c.Class = tlfuMain
 	t.main.PushFront(cand)
 }
 
@@ -264,16 +296,16 @@ func (t *TinyLFU) admit(cand *cache.Entry) {
 // invalidation says nothing about the object's popularity, and decaying
 // its counters would handicap the object in a future admission duel.
 func (t *TinyLFU) Remove(key uint64) bool {
-	e, ok := t.index[key]
+	h, ok := t.index.Delete(key)
 	if !ok {
 		return false
 	}
-	if e.Class == tlfuMain {
-		t.main.Remove(e)
+	if t.arena.At(h).Class == tlfuMain {
+		t.main.Remove(h)
 	} else {
-		t.window.Remove(e)
+		t.window.Remove(h)
 	}
-	delete(t.index, key)
+	t.arena.Free(h)
 	return true
 }
 

@@ -60,24 +60,31 @@ func TestAllAdmissionPoliciesInvariants(t *testing.T) {
 func TestTwoQProbationAndPromotion(t *testing.T) {
 	q := NewTwoQ(10_000)
 	q.Access(req(0, 1, 100))
-	if q.index[1].Class != twoQA1in {
+	class := func(key uint64) int32 {
+		h := q.index.Get(key)
+		if h == cache.None {
+			t.Fatalf("key %d not resident", key)
+		}
+		return q.arena.At(h).Class
+	}
+	if class(1) != twoQA1in {
 		t.Fatal("new object should enter A1in")
 	}
 	// A hit while in probation must NOT promote (2Q's correlated-
 	// reference rule).
 	q.Access(req(1, 1, 100))
-	if q.index[1].Class != twoQA1in {
+	if class(1) != twoQA1in {
 		t.Fatal("probation hit must not promote")
 	}
 	// Push object 1 out of probation into the ghost, then re-reference.
 	for k := uint64(2); k < 40; k++ {
 		q.Access(req(int64(k), k, 100))
 	}
-	if _, resident := q.index[1]; resident {
+	if q.index.Get(1) != cache.None {
 		t.Fatal("object 1 should have left probation")
 	}
 	q.Access(req(100, 1, 100))
-	if q.index[1] == nil || q.index[1].Class != twoQAm {
+	if class(1) != twoQAm {
 		t.Fatal("ghost re-reference should admit to Am")
 	}
 }

@@ -31,15 +31,15 @@ func TestTwoQKoutFracLive(t *testing.T) {
 	for k := uint64(2); k < 40; k++ {
 		q.Access(req(int64(k), k, 100))
 	}
-	if _, resident := q.index[1]; resident {
+	if q.index.Get(1) != cache.None {
 		t.Fatal("setup: object 1 should have left probation")
 	}
 	q.Access(req(100, 1, 100))
-	e := q.index[1]
-	if e == nil {
+	h := q.index.Get(1)
+	if h == cache.None {
 		t.Fatal("object 1 should be re-admitted")
 	}
-	if e.Class != twoQA1in {
+	if q.arena.At(h).Class != twoQA1in {
 		t.Fatal("KoutFrac=0 must disable the ghost: re-reference should re-enter A1in, not Am")
 	}
 }
@@ -135,7 +135,7 @@ func TestTwoQRemoveSkipsGhost(t *testing.T) {
 		t.Fatal("invalidation leaked the key into the A1out ghost")
 	}
 	q.Access(req(1, 1, 100))
-	if q.index[1].Class != twoQA1in {
+	if h := q.index.Get(1); h == cache.None || q.arena.At(h).Class != twoQA1in {
 		t.Fatal("re-access after invalidation must re-enter probation, not Am")
 	}
 }
@@ -154,7 +154,7 @@ func TestTinyLFURemoveKeepsSketch(t *testing.T) {
 	if got := tl.sk.Estimate(1); got != est {
 		t.Fatalf("sketch estimate changed on Remove: %d -> %d", est, got)
 	}
-	if tl.window.Len()+tl.main.Len() != len(tl.index) {
+	if tl.window.Len()+tl.main.Len() != tl.index.Len() {
 		t.Fatal("index out of sync with queues after Remove")
 	}
 }

@@ -72,7 +72,7 @@ func (f *FilterCache) Access(req cache.Request) bool {
 	f.p.OnAccess(req, hit)
 	if hit {
 		if e := f.inner.Entry(req.Key); e != nil {
-			f.p.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits+1)
+			f.p.OnResidentHit(req, e.InsertedMRU, e.Residency, int(e.Hits)+1)
 		}
 		f.inner.Access(req)
 		return true

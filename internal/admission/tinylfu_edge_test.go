@@ -20,16 +20,17 @@ func checkTinyLFU(t *testing.T, tl *TinyLFU) {
 	count := 0
 	var bytes int64
 	for _, q := range []*cache.Queue{&tl.window, &tl.main} {
-		for e := q.Front(); e != nil; e = e.Next() {
+		for h := q.Front(); h != cache.None; h = q.Next(h) {
 			count++
+			e := q.At(h)
 			bytes += e.Size
-			if tl.index[e.Key] != e {
+			if tl.index.Get(e.Key) != h {
 				t.Fatalf("queued entry %d missing from index", e.Key)
 			}
 		}
 	}
-	if count != len(tl.index) {
-		t.Fatalf("index leak: %d queued entries vs %d indexed", count, len(tl.index))
+	if count != tl.index.Len() {
+		t.Fatalf("index leak: %d queued entries vs %d indexed", count, tl.index.Len())
 	}
 	if bytes != tl.Used() {
 		t.Fatalf("used-bytes drift: entries sum to %d, Used() = %d", bytes, tl.Used())
@@ -70,8 +71,8 @@ func TestSketchAgingBoundary(t *testing.T) {
 func TestTinyLFUAdmitEmptyMain(t *testing.T) {
 	tl := NewTinyLFU(20_000) // windowCap = 4096
 	tl.Access(req(0, 1, 19_000))
-	e := tl.index[1]
-	if e == nil || e.Class != tlfuMain {
+	h := tl.index.Get(1)
+	if h == cache.None || tl.arena.At(h).Class != tlfuMain {
 		t.Fatal("lone oversized candidate should be admitted into empty main")
 	}
 	checkTinyLFU(t, tl)
@@ -85,10 +86,10 @@ func TestTinyLFUOversizedWinner(t *testing.T) {
 	tl := NewTinyLFU(20_000)
 	tl.Access(req(0, 1, 19_000)) // into main, per TestTinyLFUAdmitEmptyMain
 	tl.Access(req(1, 2, 1_500))  // pushes Used to 20_500: the giant is evicted
-	if _, resident := tl.index[1]; resident {
+	if tl.index.Get(1) != cache.None {
 		t.Fatal("oversized main resident should have been evicted to fit the new arrival")
 	}
-	if _, resident := tl.index[2]; !resident {
+	if tl.index.Get(2) == cache.None {
 		t.Fatal("new arrival should be resident")
 	}
 	checkTinyLFU(t, tl)
@@ -104,21 +105,21 @@ func TestTinyLFUOversizedDuelLoss(t *testing.T) {
 	for i := 0; i < 10; i++ {
 		tl.Access(req(int64(i), 1, 3_000))
 	}
-	if e := tl.index[1]; e == nil {
+	if tl.index.Get(1) == cache.None {
 		t.Fatal("setup: warm key should be resident")
 	}
 	// Graduate it to main by overflowing the window with a throwaway.
 	tl.Access(req(20, 2, 3_000))
-	if e := tl.index[1]; e == nil || e.Class != tlfuMain {
+	if h := tl.index.Get(1); h == cache.None || tl.arena.At(h).Class != tlfuMain {
 		t.Fatal("setup: warm key should have graduated to main")
 	}
 	// A cold oversized candidate must lose the duel against the warm
 	// victim and vanish without residue.
 	tl.Access(req(30, 3, 19_000))
-	if _, resident := tl.index[3]; resident {
+	if tl.index.Get(3) != cache.None {
 		t.Fatal("cold oversized candidate should have lost the duel")
 	}
-	if e := tl.index[1]; e == nil {
+	if tl.index.Get(1) == cache.None {
 		t.Fatal("warm main resident should have survived the duel")
 	}
 	checkTinyLFU(t, tl)

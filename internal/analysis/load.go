@@ -3,12 +3,14 @@ package analysis
 import (
 	"fmt"
 	"go/ast"
+	"go/build/constraint"
 	"go/importer"
 	"go/parser"
 	"go/token"
 	"go/types"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 )
@@ -290,6 +292,9 @@ func CheckDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (
 			// multi-package loads name the failing package too.
 			return nil, fmt.Errorf("analysis: package %s: %w", importPath, err)
 		}
+		if excludedByBuildTags(f) {
+			continue
+		}
 		files = append(files, f)
 	}
 	if len(files) == 0 {
@@ -334,4 +339,39 @@ func CheckDir(fset *token.FileSet, dir, importPath string, imp types.Importer) (
 		Types: tpkg,
 		Info:  info,
 	}, nil
+}
+
+// excludedByBuildTags reports whether f's //go:build (or legacy +build)
+// constraint excludes it from the default, tag-less build configuration —
+// the configuration the analyzers model, matching plain `go vet ./...`.
+// Files behind opt-in tags (e.g. the cache package's scipdebug handle
+// guards) would otherwise collide with their default-configuration
+// counterparts during type checking.
+func excludedByBuildTags(f *ast.File) bool {
+	for _, cg := range f.Comments {
+		if cg.Pos() >= f.Package {
+			break
+		}
+		for _, c := range cg.List {
+			if !constraint.IsGoBuild(c.Text) && !constraint.IsPlusBuild(c.Text) {
+				continue
+			}
+			expr, err := constraint.Parse(c.Text)
+			if err != nil {
+				continue
+			}
+			return !expr.Eval(defaultBuildTag)
+		}
+	}
+	return false
+}
+
+// defaultBuildTag evaluates one constraint tag for the default
+// configuration: the host OS/arch and release tags hold, custom tags do
+// not.
+func defaultBuildTag(tag string) bool {
+	if tag == runtime.GOOS || tag == runtime.GOARCH {
+		return true
+	}
+	return strings.HasPrefix(tag, "go1")
 }

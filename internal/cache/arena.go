@@ -1,0 +1,197 @@
+package cache
+
+import (
+	"math"
+	"unsafe"
+)
+
+// Entry must stay exactly one cache line (see the Entry doc comment); this
+// fails to compile if a field pushes it past 64 bytes.
+var _ [64]byte = [unsafe.Sizeof(Entry{})]byte{}
+
+// Handle identifies an Entry inside an Arena. Handles are dense int32
+// indices into the arena's slab, so queues link entries through 4-byte
+// integers instead of 8-byte pointers and the slab itself contains no
+// pointers at all — the GC never scans cache metadata, no matter how many
+// objects are resident. None is the null handle.
+type Handle int32
+
+// None is the null Handle, held by empty queue ends and returned by index
+// lookups that miss.
+const None Handle = -1
+
+// owner sentinel: entries on the freelist carry ownerFree so misuse of a
+// stale handle panics instead of corrupting a queue. Live detached entries
+// carry owner 0; queue members carry the positive queue id.
+const ownerFree int16 = -1
+
+// maxArenaEntries bounds the slab so handles always fit in an int32.
+const maxArenaEntries = math.MaxInt32
+
+// Arena is a dense slab of Entries addressed by Handle. Freed slots are
+// threaded into a freelist through Entry.next, so steady-state churn
+// (evict one, insert one) reuses slots without allocating; the slab only
+// grows via append when the live set exceeds every slot ever allocated.
+//
+// The zero value is ready to use. An Arena and the Queues created from it
+// form one ownership domain: handles are only meaningful against the arena
+// that allocated them, and *Entry pointers obtained from At are transient —
+// they are invalidated by the next Alloc (the slab may move) and must not
+// be retained across it.
+type Arena struct {
+	slab []Entry
+	// gens counts, per slot, how many times the slot has been freed. It
+	// backs Ref validity checks and lives outside Entry so the hot slab
+	// stays at one cache line per entry; it is only touched on Free and
+	// by Ref/Live.
+	gens []uint32
+	// free1 is the freelist head encoded as handle+1 so the zero value
+	// means "empty" (handle 0 is a valid slot).
+	free1 int32
+	live  int
+	// nq allocates queue ids; id 0 means "detached".
+	nq int16
+	// epoch increments on Reset so Refs taken before a reset never
+	// validate against recycled slots.
+	epoch uint32
+}
+
+// NewArena returns an arena with room for hint entries before the slab
+// first grows. A zero hint defers all allocation to first use.
+func NewArena(hint int) *Arena {
+	a := &Arena{}
+	a.Reserve(hint)
+	return a
+}
+
+// Reserve grows the slab's capacity to at least n entries without changing
+// its length. Pre-sizing from the expected working set keeps the serving
+// path free of append-driven slab moves (see OPERATIONS.md on memory
+// sizing).
+func (a *Arena) Reserve(n int) {
+	if n <= cap(a.slab) {
+		return
+	}
+	s := make([]Entry, len(a.slab), n)
+	copy(s, a.slab)
+	a.slab = s
+	g := make([]uint32, len(a.gens), n)
+	copy(g, a.gens)
+	a.gens = g
+}
+
+// Len returns the number of live (allocated, not freed) entries.
+func (a *Arena) Len() int { return a.live }
+
+// Cap returns the number of slots the slab holds without growing.
+func (a *Arena) Cap() int { return cap(a.slab) }
+
+// At returns the entry for h. The pointer is transient: it is valid only
+// until the next Alloc on this arena, which may move the slab.
+func (a *Arena) At(h Handle) *Entry {
+	if handleChecks {
+		a.checkLive(h)
+	}
+	return &a.slab[h]
+}
+
+// Alloc takes a slot from the freelist, or extends the slab when the
+// freelist is empty, and returns its handle. The slot's policy fields are
+// zeroed; its generation survives so stale Refs to the previous occupant
+// remain detectably dead.
+//
+// Alloc may move the slab: *Entry pointers obtained before the call are
+// invalid after it.
+func (a *Arena) Alloc() Handle {
+	if a.free1 != 0 {
+		h := Handle(a.free1 - 1)
+		e := &a.slab[h]
+		a.free1 = int32(e.next) + 1
+		*e = Entry{prev: None, next: None}
+		a.live++
+		return h
+	}
+	if len(a.slab) >= maxArenaEntries {
+		panic("cache: arena full (2^31-1 entries)")
+	}
+	a.slab = append(a.slab, Entry{prev: None, next: None})
+	a.gens = append(a.gens, 0)
+	a.live++
+	return Handle(len(a.slab) - 1)
+}
+
+// Free returns h's slot to the freelist. The entry must be detached from
+// any queue. Freeing bumps the slot's generation, so Refs taken before the
+// free report dead.
+func (a *Arena) Free(h Handle) {
+	e := &a.slab[h]
+	if e.owner != 0 {
+		if e.owner == ownerFree {
+			panic("cache: double Free of entry")
+		}
+		panic("cache: Free of entry still in a queue")
+	}
+	a.gens[h]++
+	e.owner = ownerFree
+	e.prev = None
+	e.next = Handle(a.free1 - 1)
+	a.free1 = int32(h) + 1
+	a.live--
+}
+
+// Reset discards every entry and empties the freelist, keeping the slab's
+// capacity for reuse. Queues built on this arena must be cleared by their
+// owners in the same breath; their handles are all invalid afterwards.
+func (a *Arena) Reset() {
+	a.slab = a.slab[:0]
+	a.gens = a.gens[:0]
+	a.free1 = 0
+	a.live = 0
+	a.epoch++
+}
+
+// NewQueue returns an empty queue linked to this arena. Queue identity is
+// a small id stamped into member entries' owner field, which is how queue
+// membership is checked without pointers.
+func (a *Arena) NewQueue() Queue {
+	if a.nq == math.MaxInt16 {
+		panic("cache: arena queue ids exhausted")
+	}
+	a.nq++
+	return Queue{a: a, id: a.nq, head: None, tail: None}
+}
+
+// Ref is a generation-stamped handle for validity tracking across frees
+// and resets. Refs are a debugging and testing device (the ABA property
+// tests use them); hot paths carry bare Handles.
+type Ref struct {
+	H     Handle
+	gen   uint32
+	epoch uint32
+}
+
+// Ref stamps h with its current generation and the arena epoch.
+func (a *Arena) Ref(h Handle) Ref {
+	return Ref{H: h, gen: a.gens[h], epoch: a.epoch}
+}
+
+// Live reports whether r still names the same allocation it was taken
+// from: the arena has not been Reset, the slot has not been freed, and the
+// slot has not been recycled for a different entry (generation match).
+func (a *Arena) Live(r Ref) bool {
+	if r.epoch != a.epoch || r.H < 0 || int(r.H) >= len(a.slab) {
+		return false
+	}
+	return a.gens[r.H] == r.gen && a.slab[r.H].owner != ownerFree
+}
+
+// checkLive panics on out-of-range or freed handles. Compiled in only
+// under the scipdebug build tag (see handleChecks).
+func (a *Arena) checkLive(h Handle) {
+	if h < 0 || int(h) >= len(a.slab) {
+		panic("cache: At of out-of-range handle")
+	}
+	if a.slab[h].owner == ownerFree {
+		panic("cache: At of freed entry")
+	}
+}

@@ -1,0 +1,9 @@
+//go:build !scipdebug
+
+package cache
+
+// handleChecks gates per-dereference handle validation (range and
+// freed-slot checks in Arena.At). Off in normal builds: the serving path
+// relies on the slice bounds check alone. Build with -tags scipdebug to
+// turn misuse of stale handles into immediate panics.
+const handleChecks = false

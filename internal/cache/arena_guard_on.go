@@ -1,0 +1,9 @@
+//go:build scipdebug
+
+package cache
+
+// handleChecks is on under the scipdebug build tag: every Arena.At
+// validates the handle's range and that the slot has not been freed, so
+// use-after-free of a handle panics at the dereference instead of
+// corrupting another entry.
+const handleChecks = true

@@ -4,17 +4,22 @@ package cache
 // evicted objects, as used by SCIP's H_m and H_l and by several baselines'
 // ghost caches. New entries enter at the MRU end; when the byte budget is
 // exceeded the oldest entries are dropped from the LRU end (Algorithm 1,
-// ADD). Lookup, insert and delete are O(1).
+// ADD). Lookup, insert and delete are O(1). Records live in a private
+// pointer-free arena indexed by an open-addressing table, so even large
+// ghost lists add no GC scan work.
 type History struct {
+	arena Arena
 	q     Queue
-	index map[uint64]*Entry
+	index Index
 	cap   int64
 }
 
 // NewHistory returns a history list with the given byte capacity. A zero or
 // negative capacity yields a list that stores nothing.
 func NewHistory(capBytes int64) *History {
-	return &History{index: make(map[uint64]*Entry), cap: capBytes}
+	h := &History{cap: capBytes}
+	h.q = h.arena.NewQueue()
+	return h
 }
 
 // Capacity returns the byte budget.
@@ -26,10 +31,17 @@ func (h *History) Capacity() int64 { return h.cap }
 // knob changes after construction.
 func (h *History) SetCapacity(capBytes int64) {
 	h.cap = capBytes
+	h.trim()
+}
+
+// trim drops the oldest records until the byte budget is respected.
+func (h *History) trim() {
 	for h.q.Bytes() > h.cap {
 		old := h.q.Back()
+		key := h.arena.At(old).Key
 		h.q.Remove(old)
-		delete(h.index, old.Key)
+		h.index.Delete(key)
+		h.arena.Free(old)
 	}
 }
 
@@ -41,8 +53,7 @@ func (h *History) Len() int { return h.q.Len() }
 
 // Contains reports whether key is recorded.
 func (h *History) Contains(key uint64) bool {
-	_, ok := h.index[key]
-	return ok
+	return h.index.Get(key) != None
 }
 
 // Add records an evicted object, evicting the oldest records as needed to
@@ -56,19 +67,24 @@ func (h *History) Add(key uint64, size int64, res Residency) {
 	if h.cap <= 0 || size > h.cap {
 		return
 	}
-	if e, ok := h.index[key]; ok {
-		h.refresh(e, size, res)
+	if hd := h.index.Get(key); hd != None {
+		h.refresh(hd, size, res)
 		return
 	}
 	for h.q.Bytes()+size > h.cap {
 		old := h.q.Back()
+		oldKey := h.arena.At(old).Key
 		h.q.Remove(old)
-		delete(h.index, old.Key)
+		h.index.Delete(oldKey)
+		h.arena.Free(old)
 	}
-	//scip:alloc-ok a never-recorded key allocates its metadata record; a stable working set refreshes in place
-	e := &Entry{Key: key, Size: size, Residency: res}
-	h.q.PushFront(e)
-	h.index[key] = e
+	hd := h.arena.Alloc()
+	e := h.arena.At(hd)
+	e.Key = key
+	e.Size = size
+	e.Residency = res
+	h.q.PushFront(hd)
+	h.index.Put(key, hd)
 }
 
 // refresh updates a present record's size and residency without changing
@@ -76,39 +92,38 @@ func (h *History) Add(key uint64, size int64, res Residency) {
 // the same position to keep the queue's byte accounting exact, then trims
 // from the LRU end if the growth pushed the list over budget — which may
 // evict the refreshed record itself when it is the oldest.
-func (h *History) refresh(e *Entry, size int64, res Residency) {
+func (h *History) refresh(hd Handle, size int64, res Residency) {
+	e := h.arena.At(hd)
 	e.Residency = res
 	if e.Size != size {
-		next := e.Next()
-		h.q.Remove(e)
+		next := h.q.Next(hd)
+		h.q.Remove(hd)
 		e.Size = size
-		if next != nil {
-			h.q.InsertBefore(e, next)
+		if next != None {
+			h.q.InsertBefore(hd, next)
 		} else {
-			h.q.PushBack(e)
+			h.q.PushBack(hd)
 		}
 	}
-	for h.q.Bytes() > h.cap {
-		old := h.q.Back()
-		h.q.Remove(old)
-		delete(h.index, old.Key)
-	}
+	h.trim()
 }
 
 // Delete removes all information about key (Algorithm 1, DELETE),
 // reporting whether it was present and how the recorded residency began.
 func (h *History) Delete(key uint64) (res Residency, ok bool) {
-	e, found := h.index[key]
+	hd, found := h.index.Delete(key)
 	if !found {
 		return ResInserted, false
 	}
-	h.q.Remove(e)
-	delete(h.index, key)
-	return e.Residency, true
+	res = h.arena.At(hd).Residency
+	h.q.Remove(hd)
+	h.arena.Free(hd)
+	return res, true
 }
 
 // Reset empties the list.
 func (h *History) Reset() {
-	h.q = Queue{}
-	clear(h.index)
+	h.q.Clear()
+	h.index.Reset()
+	h.arena.Reset()
 }

@@ -150,15 +150,16 @@ func checkHistoryInvariants(t *testing.T, h *History) {
 	if h.Bytes() > h.Capacity() && h.Capacity() > 0 {
 		t.Fatalf("byte budget exceeded: %d > %d", h.Bytes(), h.Capacity())
 	}
-	if h.Len() != len(h.index) {
-		t.Fatalf("queue length %d != index size %d", h.Len(), len(h.index))
+	if h.Len() != h.index.Len() {
+		t.Fatalf("queue length %d != index size %d", h.Len(), h.index.Len())
 	}
 	var bytes int64
 	n := 0
-	for e := h.q.Front(); e != nil; e = e.Next() {
+	for hd := h.q.Front(); hd != None; hd = h.q.Next(hd) {
 		n++
+		e := h.q.At(hd)
 		bytes += e.Size
-		if ie, ok := h.index[e.Key]; !ok || ie != e {
+		if ih := h.index.Get(e.Key); ih != hd {
 			t.Fatalf("queue entry %d not (or wrongly) indexed", e.Key)
 		}
 	}
@@ -236,8 +237,8 @@ func FuzzHistory(f *testing.F) {
 			if h.Bytes() > capBytes && capBytes > 0 {
 				t.Fatalf("budget exceeded: %d > %d", h.Bytes(), capBytes)
 			}
-			if h.Len() != len(h.index) {
-				t.Fatalf("queue/index disagree: %d vs %d", h.Len(), len(h.index))
+			if h.Len() != h.index.Len() {
+				t.Fatalf("queue/index disagree: %d vs %d", h.Len(), h.index.Len())
 			}
 		}
 	})

@@ -1,50 +1,67 @@
 package cache
 
-// Entry is one cached object inside a Queue. Entries are intrusive list
-// nodes owned by exactly one Queue at a time. The exported bookkeeping
-// fields (Hits, Freq, ...) are shared scratch space for policies so that a
-// single allocation serves LRU-family algorithms without per-policy
-// wrapper nodes.
+// Entry is one cached object inside an Arena. Entries are intrusive list
+// nodes owned by exactly one Queue at a time, linked through int32 handles
+// rather than pointers: the struct contains no pointers at all, so the
+// slab holding millions of entries is invisible to the garbage collector.
+// The exported bookkeeping fields (Hits, Freq, ...) are shared scratch
+// space for policies so that a single slot serves LRU-family algorithms
+// without per-policy wrapper nodes.
+//
+// The struct is exactly 64 bytes — one cache line — so every entry touch
+// on the replay hot path costs a single line fill. Keep it that way when
+// adding fields (there is a compile-time guard in arena.go).
 type Entry struct {
 	Key  uint64
 	Size int64
 
-	prev, next *Entry
-	owner      *Queue
+	// InsertTime is the request time at which the entry entered the
+	// cache for the current residency.
+	InsertTime int64
+	// LastAccess is the request time of the most recent access.
+	LastAccess int64
+	// Score is a generic priority used by GDSF and similar policies.
+	Score float64
+	// Hits counts hits during the current residency.
+	Hits int32
+	// Freq is a generic frequency counter for frequency-aware policies.
+	Freq int32
+	// Class is a generic small-integer classification slot (size class,
+	// segment number, ...).
+	Class int32
+
+	prev, next Handle
+	// owner is the id of the queue holding this entry (0 detached,
+	// ownerFree on the freelist).
+	owner int16
 
 	// InsertedMRU records whether the entry last entered the queue at
 	// the MRU position (SCIP's insert_pos flag).
 	InsertedMRU bool
 	// Residency records how the entry's current residency began.
 	Residency Residency
-	// Hits counts hits during the current residency.
-	Hits int
-	// InsertTime is the request time at which the entry entered the
-	// cache for the current residency.
-	InsertTime int64
-	// LastAccess is the request time of the most recent access.
-	LastAccess int64
-	// Freq is a generic frequency counter for frequency-aware policies.
-	Freq int
-	// Score is a generic priority used by GDSF and similar policies.
-	Score float64
-	// Class is a generic small-integer classification slot (size class,
-	// segment number, ...).
-	Class int
 }
 
 // InQueue reports whether the entry is currently linked into a queue.
-func (e *Entry) InQueue() bool { return e.owner != nil }
+func (e *Entry) InQueue() bool { return e.owner > 0 }
 
-// Queue is an intrusive doubly-linked list with byte accounting. The front
-// is the MRU end, the back is the LRU end. All operations are O(1).
+// Queue is an intrusive doubly-linked list of arena entries with byte
+// accounting. The front is the MRU end, the back is the LRU end. All
+// operations are O(1) and take handles; use At (or the arena's At) to
+// reach the entry behind a handle.
 //
-// The zero value is ready to use.
+// Queues are created by Arena.NewQueue and operate only on handles from
+// that arena; the zero value is not usable.
 type Queue struct {
-	head, tail *Entry
+	a          *Arena
+	id         int16
+	head, tail Handle
 	n          int
 	bytes      int64
 }
+
+// Arena returns the arena this queue links entries in.
+func (q *Queue) Arena() *Arena { return q.a }
 
 // Len returns the number of entries.
 func (q *Queue) Len() int { return q.n }
@@ -52,143 +69,197 @@ func (q *Queue) Len() int { return q.n }
 // Bytes returns the sum of entry sizes.
 func (q *Queue) Bytes() int64 { return q.bytes }
 
-// Front returns the MRU entry, or nil when empty.
-func (q *Queue) Front() *Entry { return q.head }
+// Front returns the MRU entry's handle, or None when empty.
+func (q *Queue) Front() Handle { return q.head }
 
-// Back returns the LRU entry, or nil when empty.
-func (q *Queue) Back() *Entry { return q.tail }
+// Back returns the LRU entry's handle, or None when empty.
+func (q *Queue) Back() Handle { return q.tail }
 
-// PushFront inserts e at the MRU end. e must not belong to any queue.
-func (q *Queue) PushFront(e *Entry) {
-	if e.owner != nil {
+// At returns the entry for h. The pointer is transient — see Arena.At.
+func (q *Queue) At(h Handle) *Entry { return q.a.At(h) }
+
+// Next returns the handle LRU-ward of h (toward the back), or None.
+func (q *Queue) Next(h Handle) Handle { return q.a.slab[h].next }
+
+// Prev returns the handle MRU-ward of h (toward the front), or None.
+func (q *Queue) Prev(h Handle) Handle { return q.a.slab[h].prev }
+
+// Clear empties the queue without freeing its entries: the caller either
+// frees them individually or resets the whole arena alongside.
+func (q *Queue) Clear() {
+	q.head, q.tail = None, None
+	q.n, q.bytes = 0, 0
+}
+
+// PushFront inserts h at the MRU end. The entry must not belong to any
+// queue.
+func (q *Queue) PushFront(h Handle) {
+	slab := q.a.slab
+	e := &slab[h]
+	if e.owner != 0 {
 		panic("cache: PushFront of entry already in a queue")
 	}
-	e.owner = q
-	e.prev = nil
+	e.owner = q.id
+	e.prev = None
 	e.next = q.head
-	if q.head != nil {
-		q.head.prev = e
+	if q.head != None {
+		slab[q.head].prev = h
 	} else {
-		q.tail = e
+		q.tail = h
 	}
-	q.head = e
+	q.head = h
 	q.n++
 	q.bytes += e.Size
 }
 
-// PushBack inserts e at the LRU end. e must not belong to any queue.
-func (q *Queue) PushBack(e *Entry) {
-	if e.owner != nil {
+// PushBack inserts h at the LRU end. The entry must not belong to any
+// queue.
+func (q *Queue) PushBack(h Handle) {
+	slab := q.a.slab
+	e := &slab[h]
+	if e.owner != 0 {
 		panic("cache: PushBack of entry already in a queue")
 	}
-	e.owner = q
-	e.next = nil
+	e.owner = q.id
+	e.next = None
 	e.prev = q.tail
-	if q.tail != nil {
-		q.tail.next = e
+	if q.tail != None {
+		slab[q.tail].next = h
 	} else {
-		q.head = e
+		q.head = h
 	}
-	q.tail = e
+	q.tail = h
 	q.n++
 	q.bytes += e.Size
 }
 
-// InsertBefore inserts e immediately MRU-ward of mark. mark must belong to
-// q and e must be detached.
-func (q *Queue) InsertBefore(e, mark *Entry) {
-	if mark.owner != q {
+// InsertBefore inserts h immediately MRU-ward of mark. mark must belong
+// to q and h must be detached.
+func (q *Queue) InsertBefore(h, mark Handle) {
+	slab := q.a.slab
+	m := &slab[mark]
+	if m.owner != q.id {
 		panic("cache: InsertBefore mark not in queue")
 	}
-	if e.owner != nil {
+	e := &slab[h]
+	if e.owner != 0 {
 		panic("cache: InsertBefore of entry already in a queue")
 	}
-	e.owner = q
+	e.owner = q.id
 	e.next = mark
-	e.prev = mark.prev
-	if mark.prev != nil {
-		mark.prev.next = e
+	e.prev = m.prev
+	if m.prev != None {
+		slab[m.prev].next = h
 	} else {
-		q.head = e
+		q.head = h
 	}
-	mark.prev = e
+	m.prev = h
 	q.n++
 	q.bytes += e.Size
 }
 
-// InsertAfter inserts e immediately LRU-ward of mark. mark must belong to
-// q and e must be detached.
-func (q *Queue) InsertAfter(e, mark *Entry) {
-	if mark.owner != q {
+// InsertAfter inserts h immediately LRU-ward of mark. mark must belong to
+// q and h must be detached.
+func (q *Queue) InsertAfter(h, mark Handle) {
+	slab := q.a.slab
+	m := &slab[mark]
+	if m.owner != q.id {
 		panic("cache: InsertAfter mark not in queue")
 	}
-	if e.owner != nil {
+	e := &slab[h]
+	if e.owner != 0 {
 		panic("cache: InsertAfter of entry already in a queue")
 	}
-	e.owner = q
+	e.owner = q.id
 	e.prev = mark
-	e.next = mark.next
-	if mark.next != nil {
-		mark.next.prev = e
+	e.next = m.next
+	if m.next != None {
+		slab[m.next].prev = h
 	} else {
-		q.tail = e
+		q.tail = h
 	}
-	mark.next = e
+	m.next = h
 	q.n++
 	q.bytes += e.Size
 }
 
-// Remove unlinks e from the queue. e must belong to q.
-func (q *Queue) Remove(e *Entry) {
-	if e.owner != q {
+// Remove unlinks h from the queue. The entry must belong to q.
+func (q *Queue) Remove(h Handle) {
+	slab := q.a.slab
+	e := &slab[h]
+	if e.owner != q.id {
 		panic("cache: Remove of entry not in this queue")
 	}
-	if e.prev != nil {
-		e.prev.next = e.next
+	if e.prev != None {
+		slab[e.prev].next = e.next
 	} else {
 		q.head = e.next
 	}
-	if e.next != nil {
-		e.next.prev = e.prev
+	if e.next != None {
+		slab[e.next].prev = e.prev
 	} else {
 		q.tail = e.prev
 	}
-	e.prev, e.next, e.owner = nil, nil, nil
+	e.prev, e.next, e.owner = None, None, 0
 	q.n--
 	q.bytes -= e.Size
 }
 
-// MoveToFront moves an entry already in the queue to the MRU end.
-func (q *Queue) MoveToFront(e *Entry) {
-	if q.head == e {
+// MoveToFront moves an entry already in the queue to the MRU end. This is
+// the hottest queue operation (every LRU-family hit lands here), so it
+// splices directly instead of Remove+PushFront: length and byte accounting
+// are unchanged by a move, and h != head implies e.prev is a real handle.
+func (q *Queue) MoveToFront(h Handle) {
+	if q.head == h {
 		return
 	}
-	q.Remove(e)
-	q.PushFront(e)
+	slab := q.a.slab
+	e := &slab[h]
+	if e.owner != q.id {
+		panic("cache: MoveToFront of entry not in this queue")
+	}
+	slab[e.prev].next = e.next
+	if e.next != None {
+		slab[e.next].prev = e.prev
+	} else {
+		q.tail = e.prev
+	}
+	e.prev = None
+	e.next = q.head
+	slab[q.head].prev = h
+	q.head = h
 }
 
-// MoveToBack moves an entry already in the queue to the LRU end.
-func (q *Queue) MoveToBack(e *Entry) {
-	if q.tail == e {
+// MoveToBack moves an entry already in the queue to the LRU end. Direct
+// splice for the same reason as MoveToFront.
+func (q *Queue) MoveToBack(h Handle) {
+	if q.tail == h {
 		return
 	}
-	q.Remove(e)
-	q.PushBack(e)
+	slab := q.a.slab
+	e := &slab[h]
+	if e.owner != q.id {
+		panic("cache: MoveToBack of entry not in this queue")
+	}
+	slab[e.next].prev = e.prev
+	if e.prev != None {
+		slab[e.prev].next = e.next
+	} else {
+		q.head = e.next
+	}
+	e.next = None
+	e.prev = q.tail
+	slab[q.tail].next = h
+	q.tail = h
 }
 
-// MoveTowardFront moves e one position toward the MRU end (PIPP-style
-// single-step promotion). No-op if e is already at the front.
-func (q *Queue) MoveTowardFront(e *Entry) {
-	p := e.prev
-	if p == nil {
+// MoveTowardFront moves h one position toward the MRU end (PIPP-style
+// single-step promotion). No-op if h is already at the front.
+func (q *Queue) MoveTowardFront(h Handle) {
+	p := q.a.slab[h].prev
+	if p == None {
 		return
 	}
-	q.Remove(e)
-	q.InsertBefore(e, p)
+	q.Remove(h)
+	q.InsertBefore(h, p)
 }
-
-// Next returns the entry LRU-ward of e (toward the back), or nil.
-func (e *Entry) Next() *Entry { return e.next }
-
-// Prev returns the entry MRU-ward of e (toward the front), or nil.
-func (e *Entry) Prev() *Entry { return e.prev }

@@ -6,26 +6,36 @@ import (
 	"testing/quick"
 )
 
+// allocSized allocates an arena entry with the given key and size.
+func allocSized(a *Arena, key uint64, size int64) Handle {
+	h := a.Alloc()
+	e := a.At(h)
+	e.Key = key
+	e.Size = size
+	return h
+}
+
 func keysFrontToBack(q *Queue) []uint64 {
 	var out []uint64
-	for e := q.Front(); e != nil; e = e.Next() {
-		out = append(out, e.Key)
+	for h := q.Front(); h != None; h = q.Next(h) {
+		out = append(out, q.At(h).Key)
 	}
 	return out
 }
 
 func keysBackToFront(q *Queue) []uint64 {
 	var out []uint64
-	for e := q.Back(); e != nil; e = e.Prev() {
-		out = append(out, e.Key)
+	for h := q.Back(); h != None; h = q.Prev(h) {
+		out = append(out, q.At(h).Key)
 	}
 	return out
 }
 
 func TestQueuePushFrontOrder(t *testing.T) {
-	var q Queue
+	var a Arena
+	q := a.NewQueue()
 	for i := uint64(1); i <= 3; i++ {
-		q.PushFront(&Entry{Key: i, Size: 1})
+		q.PushFront(allocSized(&a, i, 1))
 	}
 	got := keysFrontToBack(&q)
 	want := []uint64{3, 2, 1}
@@ -40,9 +50,10 @@ func TestQueuePushFrontOrder(t *testing.T) {
 }
 
 func TestQueuePushBackOrder(t *testing.T) {
-	var q Queue
+	var a Arena
+	q := a.NewQueue()
 	for i := uint64(1); i <= 3; i++ {
-		q.PushBack(&Entry{Key: i, Size: 2})
+		q.PushBack(allocSized(&a, i, 2))
 	}
 	got := keysFrontToBack(&q)
 	want := []uint64{1, 2, 3}
@@ -57,14 +68,15 @@ func TestQueuePushBackOrder(t *testing.T) {
 }
 
 func TestQueueRemoveMiddle(t *testing.T) {
-	var q Queue
-	es := make([]*Entry, 5)
-	for i := range es {
-		es[i] = &Entry{Key: uint64(i), Size: 1}
-		q.PushBack(es[i])
+	var a Arena
+	q := a.NewQueue()
+	hs := make([]Handle, 5)
+	for i := range hs {
+		hs[i] = allocSized(&a, uint64(i), 1)
+		q.PushBack(hs[i])
 	}
-	q.Remove(es[2])
-	if es[2].InQueue() {
+	q.Remove(hs[2])
+	if a.At(hs[2]).InQueue() {
 		t.Fatal("removed entry still reports InQueue")
 	}
 	got := keysFrontToBack(&q)
@@ -83,9 +95,10 @@ func TestQueueRemoveMiddle(t *testing.T) {
 }
 
 func TestQueueRemoveEnds(t *testing.T) {
-	var q Queue
-	a := &Entry{Key: 1, Size: 1}
-	b := &Entry{Key: 2, Size: 1}
+	var ar Arena
+	q := ar.NewQueue()
+	a := allocSized(&ar, 1, 1)
+	b := allocSized(&ar, 2, 1)
 	q.PushBack(a)
 	q.PushBack(b)
 	q.Remove(a)
@@ -93,25 +106,26 @@ func TestQueueRemoveEnds(t *testing.T) {
 		t.Fatal("removing head broke ends")
 	}
 	q.Remove(b)
-	if q.Front() != nil || q.Back() != nil || q.Len() != 0 || q.Bytes() != 0 {
+	if q.Front() != None || q.Back() != None || q.Len() != 0 || q.Bytes() != 0 {
 		t.Fatal("queue not empty after removing all")
 	}
 }
 
 func TestQueueMoveToFrontAndBack(t *testing.T) {
-	var q Queue
-	es := make([]*Entry, 3)
-	for i := range es {
-		es[i] = &Entry{Key: uint64(i), Size: 1}
-		q.PushBack(es[i])
+	var a Arena
+	q := a.NewQueue()
+	hs := make([]Handle, 3)
+	for i := range hs {
+		hs[i] = allocSized(&a, uint64(i), 1)
+		q.PushBack(hs[i])
 	}
-	q.MoveToFront(es[2])
-	if q.Front().Key != 2 {
-		t.Fatalf("front = %d, want 2", q.Front().Key)
+	q.MoveToFront(hs[2])
+	if q.At(q.Front()).Key != 2 {
+		t.Fatalf("front = %d, want 2", q.At(q.Front()).Key)
 	}
-	q.MoveToBack(es[2])
-	if q.Back().Key != 2 {
-		t.Fatalf("back = %d, want 2", q.Back().Key)
+	q.MoveToBack(hs[2])
+	if q.At(q.Back()).Key != 2 {
+		t.Fatalf("back = %d, want 2", q.At(q.Back()).Key)
 	}
 	// Moving the element already at the target end is a no-op.
 	q.MoveToBack(q.Back())
@@ -122,13 +136,14 @@ func TestQueueMoveToFrontAndBack(t *testing.T) {
 }
 
 func TestQueueMoveTowardFront(t *testing.T) {
-	var q Queue
-	es := make([]*Entry, 3)
-	for i := range es {
-		es[i] = &Entry{Key: uint64(i), Size: 1}
-		q.PushBack(es[i])
+	var a Arena
+	q := a.NewQueue()
+	hs := make([]Handle, 3)
+	for i := range hs {
+		hs[i] = allocSized(&a, uint64(i), 1)
+		q.PushBack(hs[i])
 	}
-	q.MoveTowardFront(es[2]) // 0,1,2 -> 0,2,1
+	q.MoveTowardFront(hs[2]) // 0,1,2 -> 0,2,1
 	got := keysFrontToBack(&q)
 	want := []uint64{0, 2, 1}
 	for i := range want {
@@ -136,20 +151,21 @@ func TestQueueMoveTowardFront(t *testing.T) {
 			t.Fatalf("order = %v, want %v", got, want)
 		}
 	}
-	q.MoveTowardFront(es[2]) // -> 2,0,1
-	q.MoveTowardFront(es[2]) // already front: no-op
-	if q.Front().Key != 2 {
-		t.Fatalf("front = %d, want 2", q.Front().Key)
+	q.MoveTowardFront(hs[2]) // -> 2,0,1
+	q.MoveTowardFront(hs[2]) // already front: no-op
+	if q.At(q.Front()).Key != 2 {
+		t.Fatalf("front = %d, want 2", q.At(q.Front()).Key)
 	}
 }
 
 func TestQueueInsertBeforeAfter(t *testing.T) {
-	var q Queue
-	a := &Entry{Key: 1, Size: 1}
-	c := &Entry{Key: 3, Size: 1}
+	var ar Arena
+	q := ar.NewQueue()
+	a := allocSized(&ar, 1, 1)
+	c := allocSized(&ar, 3, 1)
 	q.PushBack(a)
 	q.PushBack(c)
-	b := &Entry{Key: 2, Size: 1}
+	b := allocSized(&ar, 2, 1)
 	q.InsertBefore(b, c)
 	got := keysFrontToBack(&q)
 	want := []uint64{1, 2, 3}
@@ -158,12 +174,12 @@ func TestQueueInsertBeforeAfter(t *testing.T) {
 			t.Fatalf("order = %v, want %v", got, want)
 		}
 	}
-	d := &Entry{Key: 4, Size: 1}
+	d := allocSized(&ar, 4, 1)
 	q.InsertAfter(d, c)
 	if q.Back() != d {
 		t.Fatal("InsertAfter tail entry did not become back")
 	}
-	e := &Entry{Key: 0, Size: 1}
+	e := allocSized(&ar, 0, 1)
 	q.InsertBefore(e, a)
 	if q.Front() != e {
 		t.Fatal("InsertBefore head entry did not become front")
@@ -171,9 +187,11 @@ func TestQueueInsertBeforeAfter(t *testing.T) {
 }
 
 func TestQueuePanicsOnMisuse(t *testing.T) {
-	var q, q2 Queue
-	e := &Entry{Key: 1, Size: 1}
-	q.PushBack(e)
+	var a Arena
+	q := a.NewQueue()
+	q2 := a.NewQueue()
+	h := allocSized(&a, 1, 1)
+	q.PushBack(h)
 	mustPanic := func(name string, f func()) {
 		t.Helper()
 		defer func() {
@@ -183,9 +201,13 @@ func TestQueuePanicsOnMisuse(t *testing.T) {
 		}()
 		f()
 	}
-	mustPanic("double PushBack", func() { q.PushBack(e) })
-	mustPanic("double PushFront", func() { q.PushFront(e) })
-	mustPanic("Remove from wrong queue", func() { q2.Remove(e) })
+	mustPanic("double PushBack", func() { q.PushBack(h) })
+	mustPanic("double PushFront", func() { q.PushFront(h) })
+	mustPanic("Remove from wrong queue", func() { q2.Remove(h) })
+	mustPanic("Free while in queue", func() { a.Free(h) })
+	q.Remove(h)
+	a.Free(h)
+	mustPanic("double Free", func() { a.Free(h) })
 	mustPanic("evict empty", func() { NewLRU(10).evictOne() })
 }
 
@@ -193,37 +215,39 @@ func TestQueuePanicsOnMisuse(t *testing.T) {
 // byte/length invariants and bidirectional consistency after each step.
 func TestQueueRandomOpsInvariant(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
-	var q Queue
-	live := map[uint64]*Entry{}
+	var a Arena
+	q := a.NewQueue()
+	live := map[uint64]Handle{}
 	var wantBytes int64
 	next := uint64(0)
 	for step := 0; step < 5000; step++ {
 		switch op := rng.Intn(4); {
 		case op == 0 || len(live) == 0:
-			e := &Entry{Key: next, Size: int64(rng.Intn(100) + 1)}
+			h := allocSized(&a, next, int64(rng.Intn(100)+1))
 			next++
 			if rng.Intn(2) == 0 {
-				q.PushFront(e)
+				q.PushFront(h)
 			} else {
-				q.PushBack(e)
+				q.PushBack(h)
 			}
-			live[e.Key] = e
-			wantBytes += e.Size
+			live[a.At(h).Key] = h
+			wantBytes += a.At(h).Size
 		case op == 1:
-			for _, e := range live {
-				q.Remove(e)
-				delete(live, e.Key)
-				wantBytes -= e.Size
+			for k, h := range live {
+				wantBytes -= a.At(h).Size
+				q.Remove(h)
+				a.Free(h)
+				delete(live, k)
 				break
 			}
 		case op == 2:
-			for _, e := range live {
-				q.MoveToFront(e)
+			for _, h := range live {
+				q.MoveToFront(h)
 				break
 			}
 		default:
-			for _, e := range live {
-				q.MoveTowardFront(e)
+			for _, h := range live {
+				q.MoveTowardFront(h)
 				break
 			}
 		}
@@ -250,16 +274,17 @@ func TestQueueRandomOpsInvariant(t *testing.T) {
 // reversed-front-pushes and back-pushes equals the queue order.
 func TestQueueOrderProperty(t *testing.T) {
 	f := func(ops []bool) bool {
-		var q Queue
+		var a Arena
+		q := a.NewQueue()
 		var fronts, backs []uint64
 		for i, front := range ops {
 			k := uint64(i)
-			e := &Entry{Key: k, Size: 1}
+			h := allocSized(&a, k, 1)
 			if front {
-				q.PushFront(e)
+				q.PushFront(h)
 				fronts = append(fronts, k)
 			} else {
-				q.PushBack(e)
+				q.PushBack(h)
 				backs = append(backs, k)
 			}
 		}

@@ -6,11 +6,17 @@ package cache
 // insertion policy it behaves as plain LRU (insert at MRU, promote to
 // MRU), which is the configuration the paper calls "LRU". With an
 // InsertionPolicy such as SCIP it becomes the paper's SCIP-LRU.
+//
+// The data plane is pointer-free: entries live in a dense arena slab
+// linked by int32 handles, and the key index is an open-addressing table
+// of scalars (see Arena and Index), so resident metadata contributes no
+// GC scan work regardless of object count.
 type QueueCache struct {
 	name  string
 	cap   int64
+	arena Arena
 	q     Queue
-	index map[uint64]*Entry
+	index Index
 	ins   InsertionPolicy
 	// resObs is ins's ResidencyObserver side, asserted once at
 	// construction/SetInsertion time so the per-hit path carries no type
@@ -18,16 +24,10 @@ type QueueCache struct {
 	resObs ResidencyObserver
 	// evictions counts objects evicted since construction or Reset.
 	evictions int64
-	// free is the eviction-fed Entry freelist (linked through Entry.next):
-	// steady-state misses reuse the entry their eviction just released
-	// instead of allocating. Entries on the freelist are recycled — an
-	// EvictHook may read the victim during the callback but must not
-	// retain it.
-	free *Entry
 
 	// EvictHook, when non-nil, observes every eviction (used by the ZRO
 	// analyzer and tests). The entry is only valid for the duration of
-	// the call; it is recycled for a later insertion afterwards.
+	// the call; its slot is recycled for a later insertion afterwards.
 	EvictHook func(e *Entry)
 }
 
@@ -43,17 +43,20 @@ func NewQueueCache(name string, capBytes int64, ins InsertionPolicy) *QueueCache
 		}
 	}
 	c := &QueueCache{
-		name:  name,
-		cap:   capBytes,
-		index: make(map[uint64]*Entry, indexHint(capBytes)),
+		name: name,
+		cap:  capBytes,
 	}
+	hint := indexHint(capBytes)
+	c.arena.Reserve(hint)
+	c.index.Init(hint)
+	c.q = c.arena.NewQueue()
 	c.SetInsertion(ins)
 	return c
 }
 
-// indexHint pre-sizes the key index from the byte capacity, assuming
-// CDN-scale mean object sizes (~32 KiB), so steady-state replay does not
-// repeatedly grow the map. Clamped so tiny test caches and huge
+// indexHint pre-sizes the key index and entry slab from the byte capacity,
+// assuming CDN-scale mean object sizes (~32 KiB), so steady-state replay
+// does not repeatedly grow either. Clamped so tiny test caches and huge
 // capacities both get sane starts.
 func indexHint(capBytes int64) int {
 	h := capBytes >> 15
@@ -86,12 +89,19 @@ func (c *QueueCache) Evictions() int64 { return c.evictions }
 
 // Contains reports whether key is cached without touching recency state.
 func (c *QueueCache) Contains(key uint64) bool {
-	_, ok := c.index[key]
-	return ok
+	return c.index.Get(key) != None
 }
 
-// Entry returns the live entry for key, or nil. Callers must not relink it.
-func (c *QueueCache) Entry(key uint64) *Entry { return c.index[key] }
+// Entry returns the live entry for key, or nil. The pointer is transient
+// (valid until the cache next admits an object) and callers must not
+// relink it.
+func (c *QueueCache) Entry(key uint64) *Entry {
+	h := c.index.Get(key)
+	if h == None {
+		return nil
+	}
+	return c.arena.At(h)
+}
 
 // Queue exposes the underlying queue for analyzers; callers must treat it
 // as read-only.
@@ -109,18 +119,20 @@ func (c *QueueCache) SetInsertion(ins InsertionPolicy) {
 //
 //scip:hotpath
 func (c *QueueCache) Access(req Request) bool {
-	e, hit := c.index[req.Key]
+	h := c.index.Get(req.Key)
+	hit := h != None
 	if c.ins != nil {
 		c.ins.OnAccess(req, hit) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting (core.SCIP)
 	}
 	if hit {
+		e := c.arena.At(h)
 		e.Hits++
 		e.Freq++
 		e.LastAccess = req.Time
 		if c.resObs != nil {
-			c.resObs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
+			c.resObs.OnResidentHit(req, e.InsertedMRU, e.Residency, int(e.Hits)) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 		}
-		c.promote(e, req)
+		c.promote(h, e, req)
 		return true
 	}
 	if req.Size > c.cap || req.Size <= 0 {
@@ -134,13 +146,13 @@ func (c *QueueCache) Access(req Request) bool {
 // with an insertion policy the promotion is treated as a special insertion
 // (Algorithm 1, PROMOTE): the entry is removed (without touching the
 // history lists) and re-inserted at the chosen position.
-func (c *QueueCache) promote(e *Entry, req Request) {
+func (c *QueueCache) promote(h Handle, e *Entry, req Request) {
 	if c.ins == nil {
-		c.q.MoveToFront(e)
+		c.q.MoveToFront(h)
 		return
 	}
 	pos := c.ins.ChoosePromote(req) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
-	c.q.Remove(e)
+	c.q.Remove(h)
 	// The promotion starts a fresh residency: Hits restarts so a later
 	// eviction can report whether the promoted object was ever hit again
 	// (the P-ZRO signal).
@@ -150,23 +162,18 @@ func (c *QueueCache) promote(e *Entry, req Request) {
 	} else {
 		e.Residency = ResRepeat
 	}
-	c.place(e, pos)
+	c.place(h, e, pos)
 }
 
 // insert admits a missing object, evicting from the LRU end as needed.
 // Steady-state inserts are allocation-free: the evictions they trigger
-// feed the freelist the new entry is taken from.
+// free arena slots the new entry is carved from.
 func (c *QueueCache) insert(req Request) {
 	for c.q.Bytes()+req.Size > c.cap {
 		c.evictOne()
 	}
-	e := c.free
-	if e != nil {
-		c.free = e.next
-		*e = Entry{}
-	} else {
-		e = &Entry{} //scip:alloc-ok freelist warmup: steady-state inserts reuse evicted entries
-	}
+	h := c.arena.Alloc()
+	e := c.arena.At(h)
 	e.Key = req.Key
 	e.Size = req.Size
 	e.InsertTime = req.Time
@@ -176,27 +183,28 @@ func (c *QueueCache) insert(req Request) {
 	if c.ins != nil {
 		pos = c.ins.ChooseInsert(req) //scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
 	}
-	c.place(e, pos)
-	c.index[req.Key] = e
+	c.place(h, e, pos)
+	c.index.Put(req.Key, h)
 }
 
-func (c *QueueCache) place(e *Entry, pos Position) {
+func (c *QueueCache) place(h Handle, e *Entry, pos Position) {
 	if pos == MRU {
 		e.InsertedMRU = true
-		c.q.PushFront(e)
+		c.q.PushFront(h)
 	} else {
 		e.InsertedMRU = false
-		c.q.PushBack(e)
+		c.q.PushBack(h)
 	}
 }
 
 func (c *QueueCache) evictOne() {
-	victim := c.q.Back()
-	if victim == nil {
+	h := c.q.Back()
+	if h == None {
 		panic("cache: evict from empty queue")
 	}
-	c.q.Remove(victim)
-	delete(c.index, victim.Key)
+	victim := c.arena.At(h)
+	c.q.Remove(h)
+	c.index.Delete(victim.Key)
 	c.evictions++
 	if c.ins != nil {
 		//scip:alloc-ok insertion policies carry their own //scip:hotpath vetting
@@ -212,8 +220,7 @@ func (c *QueueCache) evictOne() {
 		c.EvictHook(victim) //scip:alloc-ok instrumentation hook (ZRO meters, duel bookkeeping); nil on production serving paths
 	}
 	// Recycle after the hooks have seen the victim's final state.
-	victim.next = c.free
-	c.free = victim
+	c.arena.Free(h)
 }
 
 // Remove implements Remover: it drops key from the cache if present.
@@ -222,22 +229,20 @@ func (c *QueueCache) evictOne() {
 // invalidation says nothing about whether the placement decision was
 // good. A later access to the key is an ordinary miss.
 func (c *QueueCache) Remove(key uint64) bool {
-	e, ok := c.index[key]
+	h, ok := c.index.Delete(key)
 	if !ok {
 		return false
 	}
-	c.q.Remove(e)
-	delete(c.index, key)
-	e.next = c.free
-	c.free = e
+	c.q.Remove(h)
+	c.arena.Free(h)
 	return true
 }
 
 // Reset implements Resetter.
 func (c *QueueCache) Reset() {
-	c.q = Queue{}
-	clear(c.index)
-	c.free = nil
+	c.q.Clear()
+	c.index.Reset()
+	c.arena.Reset()
 	c.evictions = 0
 	if r, ok := c.ins.(Resetter); ok && c.ins != nil {
 		r.Reset()

@@ -185,8 +185,8 @@ func TestInsertionPolicyPlumbing(t *testing.T) {
 	}
 	c.Access(req(2, 2, 40)) // 2 also at LRU end, so order front->back: 1,2
 	c.Access(req(3, 1, 40)) // hit 1, promoted to LRU end
-	if c.Queue().Back().Key != 1 {
-		t.Fatalf("promoted-to-LRU entry not at back, back=%d", c.Queue().Back().Key)
+	if q := c.Queue(); q.At(q.Back()).Key != 1 {
+		t.Fatalf("promoted-to-LRU entry not at back, back=%d", q.At(q.Back()).Key)
 	}
 	c.Access(req(4, 3, 40)) // miss: evicts 1 (back)
 	if c.Contains(1) {
@@ -233,7 +233,7 @@ func TestFreelistEvictHookSeesFinalState(t *testing.T) {
 		hits int
 	}
 	var got []evicted
-	c.EvictHook = func(e *Entry) { got = append(got, evicted{e.Key, e.Hits}) }
+	c.EvictHook = func(e *Entry) { got = append(got, evicted{e.Key, int(e.Hits)}) }
 	c.Access(req(1, 1, 60))
 	c.Access(req(2, 1, 60)) // hit
 	c.Access(req(3, 2, 60)) // evicts 1 (one hit, then promotion reset? plain LRU keeps Hits)

@@ -92,19 +92,20 @@ func (g *DGIPPR) Access(req cache.Request) bool {
 		g.advance()
 	}
 	c := g.pop[g.current]
-	if e := g.q.Get(req.Key); e != nil {
+	if h := g.q.Get(req.Key); h != cache.None {
+		e := g.q.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		g.hits++
 		switch c.promote {
 		case promoUp1:
-			g.q.StepUp(e)
+			g.q.StepUp(h)
 		case promoUp4:
 			for i := 0; i < 4; i++ {
-				g.q.StepUp(e)
+				g.q.StepUp(h)
 			}
 		case promoFront:
-			g.q.MoveToFront(e)
+			g.q.MoveToFront(h)
 		}
 		return true
 	}
@@ -114,7 +115,7 @@ func (g *DGIPPR) Access(req cache.Request) bool {
 	for g.q.Bytes()+req.Size > g.cap {
 		g.q.EvictBack()
 	}
-	g.q.InsertAt(&cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time}, c.insertSeg)
+	g.q.InsertAt(req.Key, req.Size, req.Time, c.insertSeg)
 	return false
 }
 

@@ -54,11 +54,12 @@ func (p *PIPP) Used() int64 { return p.q.Bytes() }
 
 // Access implements cache.Policy.
 func (p *PIPP) Access(req cache.Request) bool {
-	if e := p.q.Get(req.Key); e != nil {
+	if h := p.q.Get(req.Key); h != cache.None {
+		e := p.q.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		if p.rng.Float64() < p.PromoteProb {
-			p.q.StepUp(e)
+			p.q.StepUp(h)
 		}
 		return true
 	}
@@ -68,7 +69,7 @@ func (p *PIPP) Access(req cache.Request) bool {
 	for p.q.Bytes()+req.Size > p.cap {
 		p.q.EvictBack()
 	}
-	p.q.InsertAt(&cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time}, p.InsertSeg)
+	p.q.InsertAt(req.Key, req.Size, req.Time, p.InsertSeg)
 	return false
 }
 

@@ -215,7 +215,7 @@ func TestDTATrainsAndPredicts(t *testing.T) {
 func TestSegQueueOrderAndBalance(t *testing.T) {
 	q := NewSegQueue()
 	for i := 0; i < 64; i++ {
-		q.InsertAt(&cache.Entry{Key: uint64(i), Size: 100}, 0)
+		q.InsertAt(uint64(i), 100, 0, 0)
 	}
 	if q.Len() != 64 || q.Bytes() != 6400 {
 		t.Fatalf("Len=%d Bytes=%d", q.Len(), q.Bytes())
@@ -232,28 +232,28 @@ func TestSegQueueOrderAndBalance(t *testing.T) {
 		}
 	}
 	// Eviction takes the oldest.
-	e := q.EvictBack()
-	if e.Key != 0 {
-		t.Fatalf("EvictBack = %d, want 0", e.Key)
+	key, _, ok := q.EvictBack()
+	if !ok || key != 0 {
+		t.Fatalf("EvictBack = %d,%v, want 0,true", key, ok)
 	}
 }
 
 func TestSegQueueStepUp(t *testing.T) {
 	q := NewSegQueue()
 	for i := 0; i < 16; i++ {
-		q.InsertAt(&cache.Entry{Key: uint64(i), Size: 100}, 0)
+		q.InsertAt(uint64(i), 100, 0, 0)
 	}
-	e := q.Get(3)
+	h := q.Get(3)
 	before := position(q, 3)
-	q.StepUp(e)
+	q.StepUp(h)
 	after := position(q, 3)
 	if after != before-1 {
 		t.Fatalf("StepUp moved from %d to %d", before, after)
 	}
 	// Stepping the global front is a no-op.
-	front := q.Get(q.keysInOrder()[0])
-	q.StepUp(front)
-	if position(q, front.Key) != 0 {
+	frontKey := q.keysInOrder()[0]
+	q.StepUp(q.Get(frontKey))
+	if position(q, frontKey) != 0 {
 		t.Fatal("front entry moved")
 	}
 }
@@ -269,23 +269,27 @@ func position(q *SegQueue, key uint64) int {
 
 func TestSegQueueInsertAtClamps(t *testing.T) {
 	q := NewSegQueue()
-	q.InsertAt(&cache.Entry{Key: 1, Size: 10}, -5)
-	q.InsertAt(&cache.Entry{Key: 2, Size: 10}, 99)
+	q.InsertAt(1, 10, 0, -5)
+	q.InsertAt(2, 10, 0, 99)
 	if q.Len() != 2 {
 		t.Fatal("clamped inserts failed")
 	}
 	for _, k := range []uint64{1, 2} {
-		if e := q.Get(k); e == nil || e.Class < 0 || e.Class >= NumSegments {
+		h := q.Get(k)
+		if h == cache.None {
+			t.Fatalf("entry %d missing", k)
+		}
+		if e := q.At(h); e.Class < 0 || e.Class >= NumSegments {
 			t.Fatalf("entry %d has invalid segment", k)
 		}
 	}
 	// With a realistic population, a seg-0 insert outlives a seg-7 insert.
 	q2 := NewSegQueue()
 	for i := 0; i < 64; i++ {
-		q2.InsertAt(&cache.Entry{Key: uint64(100 + i), Size: 100}, 3)
+		q2.InsertAt(uint64(100+i), 100, 0, 3)
 	}
-	q2.InsertAt(&cache.Entry{Key: 1, Size: 100}, -5) // clamped to 0 (MRU)
-	q2.InsertAt(&cache.Entry{Key: 2, Size: 100}, 99) // clamped to 7 (LRU)
+	q2.InsertAt(1, 100, 0, -5) // clamped to 0 (MRU)
+	q2.InsertAt(2, 100, 0, 99) // clamped to 7 (LRU)
 	if position(q2, 1) > position(q2, 2) {
 		t.Fatal("MRU-clamped insert should sit above LRU-clamped insert")
 	}

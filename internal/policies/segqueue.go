@@ -9,9 +9,11 @@ import "github.com/scip-cache/scip/internal/cache"
 // (possibly crossing a segment boundary). Rebalancing shifts boundary
 // entries between adjacent segments and is amortised O(1) per operation.
 // Segment 0 is the MRU end. An entry's segment lives in Entry.Class.
+// Entries live in a private pointer-free arena addressed by handles.
 type SegQueue struct {
+	arena cache.Arena
 	segs  []cache.Queue
-	index map[uint64]*cache.Entry
+	index cache.Index
 	bytes int64
 }
 
@@ -20,69 +22,87 @@ const NumSegments = 8
 
 // NewSegQueue returns an empty segmented queue.
 func NewSegQueue() *SegQueue {
-	return &SegQueue{
-		segs:  make([]cache.Queue, NumSegments),
-		index: make(map[uint64]*cache.Entry),
+	s := &SegQueue{segs: make([]cache.Queue, NumSegments)}
+	for i := range s.segs {
+		s.segs[i] = s.arena.NewQueue()
 	}
+	return s
 }
 
 // Len returns the number of entries.
-func (s *SegQueue) Len() int { return len(s.index) }
+func (s *SegQueue) Len() int { return s.index.Len() }
 
 // Bytes returns the total bytes stored.
 func (s *SegQueue) Bytes() int64 { return s.bytes }
 
-// Get returns the entry for key, or nil.
-func (s *SegQueue) Get(key uint64) *cache.Entry { return s.index[key] }
+// Get returns the handle for key, or cache.None.
+func (s *SegQueue) Get(key uint64) cache.Handle { return s.index.Get(key) }
 
-// InsertAt places e at the front of segment seg (clamped to the valid
-// range). e must not already be present.
-func (s *SegQueue) InsertAt(e *cache.Entry, seg int) {
+// At returns the entry behind a handle. The pointer is transient: it is
+// invalidated by the next InsertAt.
+func (s *SegQueue) At(h cache.Handle) *cache.Entry { return s.arena.At(h) }
+
+// InsertAt records a new object at the front of segment seg (clamped to
+// the valid range) and returns its handle. The key must not already be
+// present.
+func (s *SegQueue) InsertAt(key uint64, size, now int64, seg int) cache.Handle {
 	if seg < 0 {
 		seg = 0
 	}
 	if seg >= NumSegments {
 		seg = NumSegments - 1
 	}
-	e.Class = seg
-	s.segs[seg].PushFront(e)
-	s.index[e.Key] = e
-	s.bytes += e.Size
+	h := s.arena.Alloc()
+	e := s.arena.At(h)
+	e.Key = key
+	e.Size = size
+	e.InsertTime = now
+	e.LastAccess = now
+	e.Class = int32(seg)
+	s.segs[seg].PushFront(h)
+	s.index.Put(key, h)
+	s.bytes += size
 	s.rebalance()
+	return h
 }
 
-// Remove unlinks e.
-func (s *SegQueue) Remove(e *cache.Entry) {
-	s.segs[e.Class].Remove(e)
-	delete(s.index, e.Key)
+// Remove unlinks and frees h.
+func (s *SegQueue) Remove(h cache.Handle) {
+	e := s.arena.At(h)
+	s.segs[e.Class].Remove(h)
+	s.index.Delete(e.Key)
 	s.bytes -= e.Size
+	s.arena.Free(h)
 	s.rebalance()
 }
 
-// EvictBack removes and returns the globally least-recent entry, or nil
-// when empty.
-func (s *SegQueue) EvictBack() *cache.Entry {
+// EvictBack removes the globally least-recent entry, returning its key
+// and size, or ok=false when empty.
+func (s *SegQueue) EvictBack() (key uint64, size int64, ok bool) {
 	for k := NumSegments - 1; k >= 0; k-- {
-		if e := s.segs[k].Back(); e != nil {
-			s.segs[k].Remove(e)
-			delete(s.index, e.Key)
-			s.bytes -= e.Size
+		if h := s.segs[k].Back(); h != cache.None {
+			e := s.arena.At(h)
+			key, size = e.Key, e.Size
+			s.segs[k].Remove(h)
+			s.index.Delete(key)
+			s.bytes -= size
+			s.arena.Free(h)
 			s.rebalance()
-			return e
+			return key, size, true
 		}
 	}
-	return nil
+	return 0, 0, false
 }
 
-// StepUp moves e one position toward the MRU end: within its segment, or
+// StepUp moves h one position toward the MRU end: within its segment, or
 // by swapping with its global predecessor when it is already at its
 // segment's front (a swap keeps the segment byte balance, so rebalancing
 // cannot immediately undo the promotion). At the global front it is a
 // no-op.
-func (s *SegQueue) StepUp(e *cache.Entry) {
-	seg := e.Class
-	if s.segs[seg].Front() != e {
-		s.segs[seg].MoveTowardFront(e)
+func (s *SegQueue) StepUp(h cache.Handle) {
+	seg := s.arena.At(h).Class
+	if s.segs[seg].Front() != h {
+		s.segs[seg].MoveTowardFront(h)
 		return
 	}
 	prev := seg - 1
@@ -94,18 +114,19 @@ func (s *SegQueue) StepUp(e *cache.Entry) {
 	}
 	pred := s.segs[prev].Back()
 	s.segs[prev].Remove(pred)
-	s.segs[seg].Remove(e)
-	e.Class = prev
-	s.segs[prev].PushBack(e)
-	pred.Class = seg
+	s.segs[seg].Remove(h)
+	s.arena.At(h).Class = prev
+	s.segs[prev].PushBack(h)
+	s.arena.At(pred).Class = seg
 	s.segs[seg].PushFront(pred)
 }
 
-// MoveToFront moves e to the global MRU position.
-func (s *SegQueue) MoveToFront(e *cache.Entry) {
-	s.segs[e.Class].Remove(e)
+// MoveToFront moves h to the global MRU position.
+func (s *SegQueue) MoveToFront(h cache.Handle) {
+	e := s.arena.At(h)
+	s.segs[e.Class].Remove(h)
 	e.Class = 0
-	s.segs[0].PushFront(e)
+	s.segs[0].PushFront(h)
 	s.rebalance()
 }
 
@@ -116,19 +137,19 @@ func (s *SegQueue) rebalance() {
 	slack := target/4 + 1
 	for k := 0; k < NumSegments-1; k++ {
 		for s.segs[k].Bytes() > target+slack {
-			e := s.segs[k].Back()
-			if e == nil {
+			h := s.segs[k].Back()
+			if h == cache.None {
 				break
 			}
-			s.segs[k].Remove(e)
-			e.Class = k + 1
-			s.segs[k+1].PushFront(e)
+			s.segs[k].Remove(h)
+			s.arena.At(h).Class = int32(k + 1)
+			s.segs[k+1].PushFront(h)
 		}
 		for s.segs[k].Bytes() < target-slack && s.segs[k+1].Len() > 0 {
-			e := s.segs[k+1].Front()
-			s.segs[k+1].Remove(e)
-			e.Class = k
-			s.segs[k].PushBack(e)
+			h := s.segs[k+1].Front()
+			s.segs[k+1].Remove(h)
+			s.arena.At(h).Class = int32(k)
+			s.segs[k].PushBack(h)
 		}
 	}
 }
@@ -137,8 +158,8 @@ func (s *SegQueue) rebalance() {
 func (s *SegQueue) keysInOrder() []uint64 {
 	var out []uint64
 	for k := 0; k < NumSegments; k++ {
-		for e := s.segs[k].Front(); e != nil; e = e.Next() {
-			out = append(out, e.Key)
+		for h := s.segs[k].Front(); h != cache.None; h = s.segs[k].Next(h) {
+			out = append(out, s.arena.At(h).Key)
 		}
 	}
 	return out

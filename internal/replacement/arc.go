@@ -11,9 +11,10 @@ type ARC struct {
 	name   string
 	cap    int64
 	p      int64
+	arena  cache.Arena
 	t1, t2 cache.Queue
 	b1, b2 *cache.History
-	index  map[uint64]*cache.Entry
+	index  cache.Index
 }
 
 var _ cache.Policy = (*ARC)(nil)
@@ -26,13 +27,15 @@ const (
 
 // NewARC returns an ARC cache.
 func NewARC(capBytes int64) *ARC {
-	return &ARC{
-		name:  "ARC",
-		cap:   capBytes,
-		b1:    cache.NewHistory(capBytes),
-		b2:    cache.NewHistory(capBytes),
-		index: make(map[uint64]*cache.Entry),
+	a := &ARC{
+		name: "ARC",
+		cap:  capBytes,
+		b1:   cache.NewHistory(capBytes),
+		b2:   cache.NewHistory(capBytes),
 	}
+	a.t1 = a.arena.NewQueue()
+	a.t2 = a.arena.NewQueue()
+	return a
 }
 
 // Name implements cache.Policy.
@@ -49,16 +52,17 @@ func (a *ARC) P() int64 { return a.p }
 
 // Access implements cache.Policy.
 func (a *ARC) Access(req cache.Request) bool {
-	if e, ok := a.index[req.Key]; ok {
+	if h := a.index.Get(req.Key); h != cache.None {
 		// Case I: hit in T1 or T2 — move to MRU of T2.
+		e := a.arena.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		if e.Class == arcT1 {
-			a.t1.Remove(e)
+			a.t1.Remove(h)
 			e.Class = arcT2
-			a.t2.PushFront(e)
+			a.t2.PushFront(h)
 		} else {
-			a.t2.MoveToFront(e)
+			a.t2.MoveToFront(h)
 		}
 		return true
 	}
@@ -91,12 +95,18 @@ func (a *ARC) insert(req cache.Request, class int) {
 	for a.Used()+req.Size > a.cap {
 		a.replaceOnce(false)
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: class}
-	a.index[req.Key] = e
+	h := a.arena.Alloc()
+	e := a.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
+	e.Class = int32(class)
+	a.index.Put(req.Key, h)
 	if class == arcT1 {
-		a.t1.PushFront(e)
+		a.t1.PushFront(h)
 	} else {
-		a.t2.PushFront(e)
+		a.t2.PushFront(h)
 	}
 }
 
@@ -110,26 +120,28 @@ func (a *ARC) replace(inB2 bool) {
 // replaceOnce performs one REPLACE step of the ARC algorithm.
 func (a *ARC) replaceOnce(inB2 bool) {
 	if a.t1.Len() > 0 && (a.t1.Bytes() > a.p || (inB2 && a.t1.Bytes() >= a.p)) {
-		victim := a.t1.Back()
-		a.t1.Remove(victim)
-		delete(a.index, victim.Key)
-		a.b1.Add(victim.Key, victim.Size, cache.ResInserted)
+		a.evictFrom(&a.t1, a.b1)
 		return
 	}
-	victim := a.t2.Back()
-	if victim == nil {
-		victim = a.t1.Back()
-		if victim == nil {
+	if a.t2.Len() == 0 {
+		if a.t1.Len() == 0 {
 			panic("replacement: ARC replace on empty cache")
 		}
-		a.t1.Remove(victim)
-		delete(a.index, victim.Key)
-		a.b1.Add(victim.Key, victim.Size, cache.ResInserted)
+		a.evictFrom(&a.t1, a.b1)
 		return
 	}
-	a.t2.Remove(victim)
-	delete(a.index, victim.Key)
-	a.b2.Add(victim.Key, victim.Size, cache.ResInserted)
+	a.evictFrom(&a.t2, a.b2)
+}
+
+// evictFrom drops the LRU entry of q into the ghost list b.
+func (a *ARC) evictFrom(q *cache.Queue, b *cache.History) {
+	h := q.Back()
+	victim := a.arena.At(h)
+	key, size := victim.Key, victim.Size
+	q.Remove(h)
+	a.index.Delete(key)
+	a.arena.Free(h)
+	b.Add(key, size, cache.ResInserted)
 }
 
 func min64(a, b int64) int64 {

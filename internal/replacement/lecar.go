@@ -17,7 +17,7 @@ type lecarEntry struct {
 	freq    int
 	lastAcc int64
 	heapIdx int
-	qnode   *cache.Entry
+	qnode   cache.Handle
 }
 
 type lfuHeap []*lecarEntry
@@ -47,6 +47,7 @@ type LeCaR struct {
 	name     string
 	cap      int64
 	seq      int64
+	arena    cache.Arena
 	q        cache.Queue
 	h        lfuHeap
 	index    map[uint64]*lecarEntry
@@ -68,7 +69,7 @@ var _ cache.Policy = (*LeCaR)(nil)
 
 // NewLeCaR returns a LeCaR cache.
 func NewLeCaR(capBytes int64, seed int64) *LeCaR {
-	return &LeCaR{
+	l := &LeCaR{
 		Lambda:   0.45,
 		name:     "LeCaR",
 		cap:      capBytes,
@@ -79,6 +80,8 @@ func NewLeCaR(capBytes int64, seed int64) *LeCaR {
 		rng:      rand.New(rand.NewSource(seed + 809)),
 		interval: 1 << 14,
 	}
+	l.q = l.arena.NewQueue()
+	return l
 }
 
 // NewCACHEUS returns the CACHEUS variant: LeCaR's expert frame with an
@@ -138,9 +141,12 @@ func (l *LeCaR) Access(req cache.Request) bool {
 	for l.bytes+req.Size > l.cap {
 		l.evictOne()
 	}
-	qe := &cache.Entry{Key: req.Key, Size: req.Size}
-	e := &lecarEntry{key: req.Key, size: req.Size, freq: 1, lastAcc: l.seq, qnode: qe}
-	l.q.PushFront(qe)
+	qh := l.arena.Alloc()
+	qe := l.arena.At(qh)
+	qe.Key = req.Key
+	qe.Size = req.Size
+	e := &lecarEntry{key: req.Key, size: req.Size, freq: 1, lastAcc: l.seq, qnode: qh}
+	l.q.PushFront(qh)
 	heap.Push(&l.h, e)
 	l.index[req.Key] = e
 	l.bytes += req.Size
@@ -161,11 +167,12 @@ func (l *LeCaR) evictOne() {
 	var victim *lecarEntry
 	useLRU := l.rng.Float64() < l.wLRU
 	if useLRU {
-		victim = l.index[l.q.Back().Key]
+		victim = l.index[l.arena.At(l.q.Back()).Key]
 	} else {
 		victim = l.h[0]
 	}
 	l.q.Remove(victim.qnode)
+	l.arena.Free(victim.qnode)
 	heap.Remove(&l.h, victim.heapIdx)
 	delete(l.index, victim.key)
 	l.bytes -= victim.size

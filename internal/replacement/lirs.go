@@ -17,10 +17,11 @@ type LIRS struct {
 
 	name  string
 	cap   int64
+	arena cache.Arena
 	s     cache.Queue // recency stack: LIR + resident HIR + ghosts
 	q     cache.Queue // resident HIR eviction order
-	sIdx  map[uint64]*cache.Entry
-	qIdx  map[uint64]*cache.Entry
+	sIdx  cache.Index
+	qIdx  cache.Index
 	state map[uint64]int // lirsLIR / lirsHIR for resident objects
 	sizes map[uint64]int64
 	lir   int64 // LIR resident bytes
@@ -40,15 +41,16 @@ var _ cache.Policy = (*LIRS)(nil)
 
 // NewLIRS returns a LIRS cache.
 func NewLIRS(capBytes int64) *LIRS {
-	return &LIRS{
+	l := &LIRS{
 		LIRFrac: 0.9,
 		name:    "LIRS",
 		cap:     capBytes,
-		sIdx:    make(map[uint64]*cache.Entry),
-		qIdx:    make(map[uint64]*cache.Entry),
 		state:   make(map[uint64]int),
 		sizes:   make(map[uint64]int64),
 	}
+	l.s = l.arena.NewQueue()
+	l.q = l.arena.NewQueue()
+	return l
 }
 
 // Name implements cache.Policy.
@@ -71,7 +73,7 @@ func (l *LIRS) Access(req cache.Request) bool {
 		l.pruneS()
 		return true
 	case lirsHIR:
-		if _, onS := l.sIdx[req.Key]; onS {
+		if l.sIdx.Get(req.Key) != cache.None {
 			// Low IRR demonstrated: promote HIR -> LIR.
 			l.promoteToLIR(req)
 		} else {
@@ -86,7 +88,7 @@ func (l *LIRS) Access(req cache.Request) bool {
 		return false
 	}
 	wasGhost := false
-	if e, onS := l.sIdx[req.Key]; onS && e.Class == lirsGhost {
+	if h := l.sIdx.Get(req.Key); h != cache.None && l.arena.At(h).Class == lirsGhost {
 		wasGhost = true
 	}
 	l.makeRoom(req.Size)
@@ -114,22 +116,30 @@ func (l *LIRS) Access(req cache.Request) bool {
 
 // touchS moves/pushes the key to the stack top as a resident entry.
 func (l *LIRS) touchS(req cache.Request) {
-	if e, ok := l.sIdx[req.Key]; ok {
-		l.s.Remove(e)
+	if h := l.sIdx.Get(req.Key); h != cache.None {
+		l.s.Remove(h)
+		l.arena.Free(h)
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size, Class: 0}
-	l.s.PushFront(e)
-	l.sIdx[req.Key] = e
+	h := l.arena.Alloc()
+	e := l.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	l.s.PushFront(h)
+	l.sIdx.Put(req.Key, h)
 }
 
 // touchQ moves/pushes the key to the front of the HIR queue.
 func (l *LIRS) touchQ(req cache.Request) {
-	if e, ok := l.qIdx[req.Key]; ok {
-		l.q.Remove(e)
+	if h := l.qIdx.Get(req.Key); h != cache.None {
+		l.q.Remove(h)
+		l.arena.Free(h)
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size}
-	l.q.PushFront(e)
-	l.qIdx[req.Key] = e
+	h := l.arena.Alloc()
+	e := l.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	l.q.PushFront(h)
+	l.qIdx.Put(req.Key, h)
 }
 
 // promoteToLIR turns a resident HIR block into LIR and rebalances.
@@ -138,9 +148,9 @@ func (l *LIRS) promoteToLIR(req cache.Request) {
 	l.state[req.Key] = lirsLIR
 	l.hir -= size
 	l.lir += size
-	if e, ok := l.qIdx[req.Key]; ok {
-		l.q.Remove(e)
-		delete(l.qIdx, req.Key)
+	if h, ok := l.qIdx.Delete(req.Key); ok {
+		l.q.Remove(h)
+		l.arena.Free(h)
 	}
 	l.touchS(req)
 	for l.lir > l.lirCap() {
@@ -152,24 +162,24 @@ func (l *LIRS) promoteToLIR(req cache.Request) {
 // demoteLIRBottom turns the LIR block at the stack bottom into resident
 // HIR (front of Q).
 func (l *LIRS) demoteLIRBottom() {
-	for e := l.s.Back(); e != nil; e = l.s.Back() {
-		if l.state[e.Key] == lirsLIR && e.Class != lirsGhost {
-			size := l.sizes[e.Key]
-			l.state[e.Key] = lirsHIR
+	for h := l.s.Back(); h != cache.None; h = l.s.Back() {
+		e := l.arena.At(h)
+		key := e.Key
+		if l.state[key] == lirsLIR && e.Class != lirsGhost {
+			size := l.sizes[key]
+			l.state[key] = lirsHIR
 			l.lir -= size
 			l.hir += size
-			l.s.Remove(e)
-			delete(l.sIdx, e.Key)
-			l.touchQ(cache.Request{Key: e.Key, Size: size})
+			l.s.Remove(h)
+			l.sIdx.Delete(key)
+			l.arena.Free(h)
+			l.touchQ(cache.Request{Key: key, Size: size})
 			return
 		}
 		// Non-LIR bottom entries are pruned.
-		l.s.Remove(e)
-		if e.Class != lirsGhost && l.state[e.Key] == 0 {
-			delete(l.sIdx, e.Key)
-			continue
-		}
-		delete(l.sIdx, e.Key)
+		l.s.Remove(h)
+		l.sIdx.Delete(key)
+		l.arena.Free(h)
 	}
 }
 
@@ -178,23 +188,25 @@ func (l *LIRS) demoteLIRBottom() {
 func (l *LIRS) makeRoom(size int64) {
 	for l.Used()+size > l.cap {
 		victim := l.q.Back()
-		if victim == nil {
+		if victim == cache.None {
 			// No HIR residents: demote a LIR block first.
 			l.demoteLIRBottom()
-			if l.q.Back() == nil {
+			if l.q.Back() == cache.None {
 				return
 			}
 			continue
 		}
+		key := l.arena.At(victim).Key
 		l.q.Remove(victim)
-		delete(l.qIdx, victim.Key)
-		vsize := l.sizes[victim.Key]
+		l.qIdx.Delete(key)
+		l.arena.Free(victim)
+		vsize := l.sizes[key]
 		l.hir -= vsize
-		delete(l.state, victim.Key)
-		delete(l.sizes, victim.Key)
+		delete(l.state, key)
+		delete(l.sizes, key)
 		// The stack entry, if any, becomes a non-resident ghost.
-		if se, ok := l.sIdx[victim.Key]; ok {
-			se.Class = lirsGhost
+		if sh := l.sIdx.Get(key); sh != cache.None {
+			l.arena.At(sh).Class = lirsGhost
 		}
 	}
 }
@@ -202,18 +214,22 @@ func (l *LIRS) makeRoom(size int64) {
 // pruneS removes non-LIR entries from the stack bottom (stack pruning)
 // and bounds the ghost population to roughly the cache's object count.
 func (l *LIRS) pruneS() {
-	for e := l.s.Back(); e != nil; e = l.s.Back() {
+	for h := l.s.Back(); h != cache.None; h = l.s.Back() {
+		e := l.arena.At(h)
 		if l.state[e.Key] == lirsLIR && e.Class != lirsGhost {
 			break
 		}
-		l.s.Remove(e)
-		delete(l.sIdx, e.Key)
+		l.s.Remove(h)
+		l.sIdx.Delete(e.Key)
+		l.arena.Free(h)
 	}
 	// Bound total stack entries (ghost cap): 4x the resident population.
 	limit := 4 * (len(l.state) + 16)
 	for l.s.Len() > limit {
-		e := l.s.Back()
-		l.s.Remove(e)
-		delete(l.sIdx, e.Key)
+		h := l.s.Back()
+		key := l.arena.At(h).Key
+		l.s.Remove(h)
+		l.sIdx.Delete(key)
+		l.arena.Free(h)
 	}
 }

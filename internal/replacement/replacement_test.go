@@ -173,30 +173,30 @@ func (forcedLRUIns) OnAccess(cache.Request, bool)               {}
 func TestS4LRUPromotionSegments(t *testing.T) {
 	s := NewS4LRU(4000)
 	s.Access(req(0, 1, 100))
-	e := s.index[1]
-	if e.Class != 0 {
-		t.Fatalf("insert segment = %d, want 0", e.Class)
+	seg := func() int32 { return s.arena.At(s.index.Get(1)).Class }
+	if seg() != 0 {
+		t.Fatalf("insert segment = %d, want 0", seg())
 	}
 	s.Access(req(1, 1, 100))
-	if e.Class != 1 {
-		t.Fatalf("after hit segment = %d, want 1", e.Class)
+	if seg() != 1 {
+		t.Fatalf("after hit segment = %d, want 1", seg())
 	}
 	for i := 0; i < 5; i++ {
 		s.Access(req(int64(2+i), 1, 100))
 	}
-	if e.Class != 3 {
-		t.Fatalf("segment should saturate at 3, got %d", e.Class)
+	if seg() != 3 {
+		t.Fatalf("segment should saturate at 3, got %d", seg())
 	}
 }
 
 func TestSSLRUProtectedPromotion(t *testing.T) {
 	s := NewSSLRU(4000)
 	s.Access(req(0, 1, 100))
-	if s.index[1].Class != segProbation {
+	if s.arena.At(s.index.Get(1)).Class != segProbation {
 		t.Fatal("new object should enter probation")
 	}
 	s.Access(req(1, 1, 100))
-	if s.index[1].Class != segProtected {
+	if s.arena.At(s.index.Get(1)).Class != segProtected {
 		t.Fatal("reused object should be protected")
 	}
 }
@@ -301,19 +301,19 @@ func TestS4LRUWithInsertionMultiChain(t *testing.T) {
 	// Forced-LRU insertion lands at the tail of segment 0: the very next
 	// eviction pressure removes it before older MRU-side objects.
 	s.Access(req(0, 1, 100))
-	if e := s.index[1]; e.InsertedMRU || e.Class != 0 {
+	if e := s.arena.At(s.index.Get(1)); e.InsertedMRU || e.Class != 0 {
 		t.Fatalf("forced insert misplaced: %+v", e)
 	}
-	if s.segs[0].Back().Key != 1 {
+	if s.arena.At(s.segs[0].Back()).Key != 1 {
 		t.Fatal("forced insert not at segment-0 tail")
 	}
 	// Forced-LRU promotion demotes a hit object back to segment-0 tail.
 	s.Access(req(1, 1, 100))
-	e := s.index[1]
+	e := s.arena.At(s.index.Get(1))
 	if e.Class != 0 || e.Residency != cache.ResFirstHit {
 		t.Fatalf("demoted promotion misrouted: %+v", e)
 	}
-	if s.segs[0].Back().Key != 1 {
+	if s.arena.At(s.segs[0].Back()).Key != 1 {
 		t.Fatal("demoted promotion not at segment-0 tail")
 	}
 }

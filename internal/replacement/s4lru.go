@@ -18,8 +18,9 @@ import "github.com/scip-cache/scip/internal/cache"
 type S4LRU struct {
 	name  string
 	cap   int64
+	arena cache.Arena
 	segs  [4]cache.Queue
-	index map[uint64]*cache.Entry
+	index cache.Index
 	ins   cache.InsertionPolicy
 }
 
@@ -27,7 +28,11 @@ var _ cache.Policy = (*S4LRU)(nil)
 
 // NewS4LRU returns an S4LRU cache.
 func NewS4LRU(capBytes int64) *S4LRU {
-	return &S4LRU{name: "S4LRU", cap: capBytes, index: make(map[uint64]*cache.Entry)}
+	s := &S4LRU{name: "S4LRU", cap: capBytes}
+	for i := range s.segs {
+		s.segs[i] = s.arena.NewQueue()
+	}
+	return s
 }
 
 // NewS4LRUWithInsertion returns S4LRU driven by an insertion/promotion
@@ -59,15 +64,17 @@ func (s *S4LRU) segCap() int64 { return s.cap / 4 }
 
 // Access implements cache.Policy.
 func (s *S4LRU) Access(req cache.Request) bool {
-	e, hit := s.index[req.Key]
+	h := s.index.Get(req.Key)
+	hit := h != cache.None
 	if s.ins != nil {
 		s.ins.OnAccess(req, hit)
 	}
 	if hit {
+		e := s.arena.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		if obs, ok := s.ins.(cache.ResidencyObserver); ok && s.ins != nil {
-			obs.OnResidentHit(req, e.InsertedMRU, e.Residency, e.Hits)
+			obs.OnResidentHit(req, e.InsertedMRU, e.Residency, int(e.Hits))
 		}
 		if s.ins != nil {
 			// Promotion as a special insertion: a fresh residency starts.
@@ -79,44 +86,52 @@ func (s *S4LRU) Access(req cache.Request) bool {
 			}
 			if s.ins.ChoosePromote(req) == cache.LRU {
 				// Multi-chain LRU position: tail of segment 0.
-				s.segs[e.Class].Remove(e)
+				s.segs[e.Class].Remove(h)
 				e.Class = 0
 				e.InsertedMRU = false
-				s.segs[0].PushBack(e)
+				s.segs[0].PushBack(h)
 				s.overflow()
 				return true
 			}
 			e.InsertedMRU = true
 		}
-		s.promote(e)
+		s.promote(h)
 		return true
 	}
 	if req.Size > s.cap || req.Size <= 0 {
 		return false
 	}
-	e = &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: 0, InsertedMRU: true}
+	h = s.arena.Alloc()
+	e := s.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
+	e.Class = 0
+	e.InsertedMRU = true
 	if s.ins != nil && s.ins.ChooseInsert(req) == cache.LRU {
 		e.InsertedMRU = false
-		s.index[req.Key] = e
-		s.segs[0].PushBack(e)
+		s.index.Put(req.Key, h)
+		s.segs[0].PushBack(h)
 		s.overflow()
 		return false
 	}
-	s.index[req.Key] = e
-	s.segs[0].PushFront(e)
+	s.index.Put(req.Key, h)
+	s.segs[0].PushFront(h)
 	s.overflow()
 	return false
 }
 
 // promote moves a hit entry up one segment.
-func (s *S4LRU) promote(e *cache.Entry) {
+func (s *S4LRU) promote(h cache.Handle) {
+	e := s.arena.At(h)
 	next := e.Class + 1
 	if next > 3 {
 		next = 3
 	}
-	s.segs[e.Class].Remove(e)
+	s.segs[e.Class].Remove(h)
 	e.Class = next
-	s.segs[next].PushFront(e)
+	s.segs[next].PushFront(h)
 	s.overflow()
 }
 
@@ -126,34 +141,37 @@ func (s *S4LRU) overflow() {
 		for s.segs[i].Bytes() > s.segCap() {
 			tail := s.segs[i].Back()
 			s.segs[i].Remove(tail)
-			tail.Class = i - 1
+			s.arena.At(tail).Class = int32(i - 1)
 			s.segs[i-1].PushFront(tail)
 		}
 	}
 	// Segment 0 absorbs the rest of the global budget.
 	for s.Used() > s.cap {
 		tail := s.segs[0].Back()
-		if tail == nil {
+		if tail == cache.None {
 			return
 		}
+		victim := s.arena.At(tail)
 		s.segs[0].Remove(tail)
-		delete(s.index, tail.Key)
+		s.index.Delete(victim.Key)
 		if s.ins != nil {
 			s.ins.OnEvict(cache.EvictInfo{
-				Key:         tail.Key,
-				Size:        tail.Size,
-				InsertedMRU: tail.InsertedMRU,
-				EverHit:     tail.Hits > 0,
-				Residency:   tail.Residency,
+				Key:         victim.Key,
+				Size:        victim.Size,
+				InsertedMRU: victim.InsertedMRU,
+				EverHit:     victim.Hits > 0,
+				Residency:   victim.Residency,
 			})
 		}
+		s.arena.Free(tail)
 	}
 }
 
 // Reset implements cache.Resetter.
 func (s *S4LRU) Reset() {
 	for i := range s.segs {
-		s.segs[i] = cache.Queue{}
+		s.segs[i].Clear()
 	}
-	clear(s.index)
+	s.index.Reset()
+	s.arena.Reset()
 }

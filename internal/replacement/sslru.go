@@ -20,9 +20,10 @@ type SSLRU struct {
 
 	name      string
 	cap       int64
+	arena     cache.Arena
 	probation cache.Queue
 	protected cache.Queue
-	index     map[uint64]*cache.Entry
+	index     cache.Index
 	classes   [40]int
 }
 
@@ -36,12 +37,14 @@ const (
 
 // NewSSLRU returns an SS-LRU cache.
 func NewSSLRU(capBytes int64) *SSLRU {
-	return &SSLRU{
+	s := &SSLRU{
 		ProtectedFrac: 0.75,
 		name:          "SS-LRU",
 		cap:           capBytes,
-		index:         make(map[uint64]*cache.Entry),
 	}
+	s.probation = s.arena.NewQueue()
+	s.protected = s.arena.NewQueue()
+	return s
 }
 
 // Name implements cache.Policy.
@@ -63,7 +66,8 @@ func (s *SSLRU) class(size int64) int {
 
 // Access implements cache.Policy.
 func (s *SSLRU) Access(req cache.Request) bool {
-	if e, ok := s.index[req.Key]; ok {
+	if h := s.index.Get(req.Key); h != cache.None {
+		e := s.arena.At(h)
 		e.Hits++
 		e.LastAccess = req.Time
 		c := s.class(req.Size)
@@ -72,11 +76,11 @@ func (s *SSLRU) Access(req cache.Request) bool {
 		}
 		// Reused objects move (or refresh) into the protected segment.
 		if e.Class == segProtected {
-			s.protected.MoveToFront(e)
+			s.protected.MoveToFront(h)
 		} else {
-			s.probation.Remove(e)
+			s.probation.Remove(h)
 			e.Class = segProtected
-			s.protected.PushFront(e)
+			s.protected.PushFront(h)
 			s.balanceProtected()
 		}
 		return true
@@ -84,14 +88,20 @@ func (s *SSLRU) Access(req cache.Request) bool {
 	if req.Size > s.cap || req.Size <= 0 {
 		return false
 	}
-	e := &cache.Entry{Key: req.Key, Size: req.Size, InsertTime: req.Time, LastAccess: req.Time, Class: segProbation}
-	s.index[req.Key] = e
+	h := s.arena.Alloc()
+	e := s.arena.At(h)
+	e.Key = req.Key
+	e.Size = req.Size
+	e.InsertTime = req.Time
+	e.LastAccess = req.Time
+	e.Class = segProbation
+	s.index.Put(req.Key, h)
 	// The smart admission: classes with no observed reuse enter at the
 	// probation tail, where the next eviction takes them.
 	if s.classes[s.class(req.Size)] <= 0 {
-		s.probation.PushBack(e)
+		s.probation.PushBack(h)
 	} else {
-		s.probation.PushFront(e)
+		s.probation.PushFront(h)
 	}
 	for s.Used() > s.cap {
 		s.evictOne()
@@ -105,34 +115,38 @@ func (s *SSLRU) balanceProtected() {
 	for s.protected.Bytes() > limit {
 		tail := s.protected.Back()
 		s.protected.Remove(tail)
-		tail.Class = segProbation
+		s.arena.At(tail).Class = segProbation
 		s.probation.PushFront(tail)
 	}
 }
 
 func (s *SSLRU) evictOne() {
-	victim := s.probation.Back()
-	if victim == nil {
-		victim = s.protected.Back()
-		if victim == nil {
+	h := s.probation.Back()
+	if h == cache.None {
+		h = s.protected.Back()
+		if h == cache.None {
 			panic("replacement: evict from empty SS-LRU")
 		}
-		s.protected.Remove(victim)
+		s.protected.Remove(h)
 	} else {
-		s.probation.Remove(victim)
+		s.probation.Remove(h)
 	}
-	delete(s.index, victim.Key)
+	victim := s.arena.At(h)
+	s.index.Delete(victim.Key)
 	if victim.Hits == 0 {
 		c := s.class(victim.Size)
 		if s.classes[c] > -16 {
 			s.classes[c]--
 		}
 	}
+	s.arena.Free(h)
 }
 
 // Reset implements cache.Resetter.
 func (s *SSLRU) Reset() {
-	s.probation, s.protected = cache.Queue{}, cache.Queue{}
-	clear(s.index)
+	s.probation.Clear()
+	s.protected.Clear()
+	s.index.Reset()
+	s.arena.Reset()
 	s.classes = [40]int{}
 }

@@ -502,6 +502,10 @@ func (s *Server) writeServerMetrics(w io.Writer) {
 	gauge("inflight_requests", "Requests currently being served.", strconv.FormatInt(s.inflight.Load(), 10))
 	gauge("uptime_seconds", "Seconds since the daemon started.",
 		strconv.FormatFloat(time.Since(s.start).Seconds(), 'f', 3, 64))
+	// GC series: with the pointer-free cache core, heap-scan bytes and
+	// pause totals must stay flat as the resident set grows — these
+	// gauges are how a deployment checks that invariant live.
+	stats.WriteGCPrometheus(w, stats.ReadGC(), "scip_server")
 }
 
 func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
@@ -524,6 +528,10 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 		s.originFetches.Load(), s.originErrors.Load(), s.originRetries.Load(),
 		s.coalescedWaits.Load(), s.staleServes.Load(), s.bodyRefetches.Load())
 	fmt.Fprintf(w, "inflight:   %d (goroutines %d)\n", s.inflight.Load(), runtime.NumGoroutine())
+	gc := stats.ReadGC()
+	fmt.Fprintf(w, "gc:         %d cycles, pause %s, heap-scan %.1f MiB, cpu %.4f%%\n",
+		gc.NumGC, gc.PauseTotal.Round(time.Microsecond),
+		float64(gc.HeapScanBytes)/(1<<20), gc.CPUFraction*100)
 }
 
 // Serve accepts connections on l until ctx is cancelled, then shuts

@@ -90,6 +90,35 @@ type ScaleReport struct {
 	Cells         []ScaleCell `json:"cells"`
 }
 
+// GCCell is one working-set size of the scip-load GC-pressure matrix:
+// the cache is filled to Objects resident entries, a forced GC measures
+// how many scannable heap bytes the resident set added (ScanBytesPerObj
+// — ~0 with the pointer-free core), and a churn replay then records the
+// GC cycles and pause time the steady state incurs. MissRatio is the
+// churn replay's miss ratio; it must be identical across the modes of a
+// matrix (the serial-order invariant) and the harness rejects the run
+// otherwise.
+type GCCell struct {
+	Objects         int     `json:"objects"`
+	Mode            string  `json:"mode"`
+	HeapScanMiB     float64 `json:"heap_scan_mib"`
+	ScanBytesPerObj float64 `json:"scan_bytes_per_object"`
+	GCCycles        uint32  `json:"gc_cycles"`
+	PauseMillis     float64 `json:"pause_ms"`
+	MissRatio       float64 `json:"miss_ratio"`
+}
+
+// GCReport is the gc_matrix section of BENCH.json, produced by
+// `scip-load -gcbench` (see `make bench-gc`).
+type GCReport struct {
+	GeneratedUnix int64    `json:"generated_unix"`
+	Trace         string   `json:"trace"`
+	Policy        string   `json:"policy"`
+	Shards        int      `json:"shards"`
+	Requests      int      `json:"requests"`
+	Cells         []GCCell `json:"cells"`
+}
+
 // LoadReport is the final JSON document of a scip-load run. It shares the
 // BENCH.json conventions (generated_unix, total_seconds, gomaxprocs) so
 // runs can be compared and archived alongside figure timings.
