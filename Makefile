@@ -11,7 +11,7 @@ GO ?= go
 # must be listed here so `make vet` covers it.
 VET_TAGS ?= scipdebug
 
-.PHONY: check fmt-check vet lint supps build test test-race examples docs-check golden-equiv fuzz bench bench-kernels bench-figures bench-scale bench-gc bench-check load
+.PHONY: check fmt-check vet lint supps build test test-race examples docs-check golden-equiv fuzz bench bench-kernels bench-figures bench-scale bench-gc bench-cluster bench-check load
 
 check: fmt-check vet lint build test test-race examples docs-check golden-equiv
 
@@ -54,12 +54,12 @@ test-race:
 	$(GO) test -race ./...
 
 # examples builds the five runnable programs under examples/ and runs
-# the Example* godoc functions (facade and internal/stats): their
-# // Output: blocks are the executable half of the documentation and
-# must stay green.
+# the Example* godoc functions (facade, internal/stats and
+# internal/cluster): their // Output: blocks are the executable half of
+# the documentation and must stay green.
 examples:
 	$(GO) build ./examples/...
-	$(GO) test -run Example . ./internal/stats/
+	$(GO) test -run Example . ./internal/stats/ ./internal/cluster/
 
 # docs-check fails on broken intra-repo markdown links (docs_test.go) and
 # on internal/ packages missing a package comment (the scip-vet pkgdoc
@@ -125,6 +125,15 @@ bench-scale:
 GCOBJECTS ?= 50000
 bench-gc:
 	$(GO) run ./cmd/scip-load -scale $(SCALE) -shards 8 -gcobjects $(GCOBJECTS) -gcbench $(BENCHJSON)
+
+# Cluster equivalence smoke (CLUSTER.md): spins an in-process 3-node
+# fleet on loopback with a scip-route router in front, replays a tiny
+# CDN-T trace through the router from concurrent clients, cross-checks
+# every node's shard counters byte-for-byte against a single-node replay
+# of its ring partition, and merges the router-overhead cells into
+# BENCH.json as cluster_matrix. SCALE=0.002 keeps it a CI smoke run.
+bench-cluster:
+	$(GO) run ./cmd/scip-route -clusterbench $(BENCHJSON) -scale $(SCALE) -shards 4 -bench-nodes 3
 
 # Benchmark-regression guard: reruns the replay hot path and fails if
 # ns/op regresses more than 20% against the committed baseline in

@@ -12,12 +12,18 @@
 //	    [-mode mutex|actor] [-depth N] [-nolat]
 //	    [-origin URL] [-origin-timeout 2s] [-origin-retries 2] [-origin-backoff 50ms]
 //	    [-origin-latency 0] [-serve-stale] [-max-body 1MiB] [-drain 10s] [-interval 10s]
+//	    [-peers URL,URL,... -self URL] [-peer-vnodes 64] [-peer-fanout 1]
+//	    [-peer-timeout 500ms] [-peer-retries 0] [-peer-backoff 25ms]
 //
 // Without -origin the daemon fronts a deterministic synthetic origin
 // (bodies are a pure function of the key), which is what trace replay
 // and the end-to-end tests use; with -origin URL misses are fetched from
-// GET URL/<key>. See OPERATIONS.md for the endpoint contract, the full
-// metrics catalogue and worked examples.
+// GET URL/<key>. With -peers (the full fleet node list, including this
+// node's own -self URL) a declared-size miss first asks the key's ring
+// successors for their stored body via GET /peer/{key} and only falls
+// back to the origin when no peer holds it — see CLUSTER.md. See
+// OPERATIONS.md for the endpoint contract, the full metrics catalogue
+// and worked examples.
 package main
 
 import (
@@ -27,9 +33,11 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"github.com/scip-cache/scip/internal/cluster"
 	"github.com/scip-cache/scip/internal/server"
 	"github.com/scip-cache/scip/internal/shard"
 	"github.com/scip-cache/scip/internal/sim"
@@ -54,6 +62,13 @@ func main() {
 	maxBody := flag.String("max-body", "1MiB", "stored/accepted body size cap")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown drain timeout (0 waits indefinitely)")
 	interval := flag.Duration("interval", 10*time.Second, "live stats line period on stdout (0 disables)")
+	peers := flag.String("peers", "", "comma-separated fleet node base URLs, including this node's -self (enables peer-fill)")
+	self := flag.String("self", "", "this node's base URL within -peers")
+	peerVNodes := flag.Int("peer-vnodes", 64, "virtual nodes per node on the peer ring (must match the router's -vnodes)")
+	peerFanout := flag.Int("peer-fanout", 1, "ring successors asked per peer-fill attempt")
+	peerTimeout := flag.Duration("peer-timeout", 500*time.Millisecond, "per-attempt peer fetch timeout")
+	peerRetries := flag.Int("peer-retries", 0, "peer fetch retries after the first failure")
+	peerBackoff := flag.Duration("peer-backoff", 25*time.Millisecond, "delay before the first peer retry (doubles per attempt)")
 	flag.Parse()
 
 	fail := func(err error) {
@@ -91,6 +106,22 @@ func main() {
 		cfg.Origin = &server.HTTPOrigin{Base: *originURL}
 	} else {
 		cfg.Origin = &server.SyntheticOrigin{Latency: *originLatency}
+	}
+	if *peers != "" {
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, strings.TrimRight(p, "/"))
+			}
+		}
+		pc, err := cluster.NewPeerClient(peerList, strings.TrimRight(*self, "/"), *peerVNodes, *peerFanout, nil)
+		if err != nil {
+			fail(fmt.Errorf("bad -peers/-self: %w", err))
+		}
+		cfg.PeerFill = pc
+		cfg.PeerTimeout = *peerTimeout
+		cfg.PeerRetries = *peerRetries
+		cfg.PeerBackoff = *peerBackoff
 	}
 	s, err := server.New(cfg)
 	if err != nil {

@@ -19,6 +19,7 @@ var docFiles = []string{
 	"DESIGN.md",
 	"EXPERIMENTS.md",
 	"OPERATIONS.md",
+	"CLUSTER.md",
 	"ROADMAP.md",
 }
 

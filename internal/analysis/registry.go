@@ -28,6 +28,7 @@ var DetrandPaths = []string{
 	"internal/replacement",
 	"internal/admission/scorer",
 	"internal/zro",
+	"internal/cluster",
 }
 
 // ClockSinkPaths lists the import-path suffixes of the packages holding

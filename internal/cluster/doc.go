@@ -1,0 +1,22 @@
+// Package cluster turns a set of scip-serve daemons into a routed cache
+// fleet: a consistent-hash ring with virtual nodes (Ring) maps every
+// key to an owner node, a stateless HTTP routing tier (Router) proxies
+// object requests to that owner — load-balancing the hottest keys
+// across a replica set chosen by a count-min frequency sketch (Sketch,
+// HotKeys) and failing over to ring successors when the health registry
+// (Registry) marks a node down — and a peer client (PeerClient) lets a
+// node fill a local miss from the ring's next replica before paying an
+// origin round trip.
+//
+// Together with internal/server this forms the live two-layer OC/DC
+// hierarchy that internal/tdc models offline: the fleet's nodes are the
+// origin-side caches, the shared origin is the data center, and the
+// router is the request fabric between clients and the fleet. The
+// correctness anchor is the same one every layer of this repository
+// uses: with replication and peer fill off, a clustered replay's
+// aggregate per-shard counters are byte-identical to single-node
+// replays of the ring-partitioned trace, and enabling peer fill only
+// converts origin fills into peer fills — never a policy decision (see
+// the package's end-to-end tests and CLUSTER.md for the operator
+// story).
+package cluster

@@ -59,6 +59,26 @@ type Config struct {
 	// when every origin attempt fails, instead of a 502.
 	ServeStale bool
 
+	// PeerFill, when non-nil, is consulted before Origin on every miss
+	// whose request declares a size: a fleet node (see internal/cluster
+	// and the scip-serve -peers flag) fetches the body from the ring's
+	// next replica and only falls through to the origin when no peer
+	// holds it. Peer fetches go through the same bounded-backoff
+	// implementation as origin fetches, under the Peer* budget below.
+	// Unknown-size requests skip the peer tier: the origin is the size
+	// authority, and accounting with a peer's body length instead would
+	// perturb the policy decision stream.
+	PeerFill Origin
+	// PeerTimeout bounds each peer fetch attempt (default 500ms;
+	// negative disables the per-attempt timeout).
+	PeerTimeout time.Duration
+	// PeerRetries is the number of peer retry attempts after a failure
+	// (default 0 — peers are an optimisation, not a dependency).
+	PeerRetries int
+	// PeerBackoff is the delay before the first peer retry, doubling
+	// per attempt (default 25ms).
+	PeerBackoff time.Duration
+
 	// MaxBodyBytes caps stored and accepted body lengths (default
 	// 1 MiB). Accounting always uses the declared object size.
 	MaxBodyBytes int64
@@ -86,6 +106,15 @@ func (cfg Config) withDefaults() Config {
 	}
 	if cfg.OriginBackoff <= 0 {
 		cfg.OriginBackoff = 50 * time.Millisecond
+	}
+	if cfg.PeerTimeout == 0 {
+		cfg.PeerTimeout = 500 * time.Millisecond
+	}
+	if cfg.PeerRetries < 0 {
+		cfg.PeerRetries = 0
+	}
+	if cfg.PeerBackoff <= 0 {
+		cfg.PeerBackoff = 25 * time.Millisecond
 	}
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = 1 << 20
@@ -119,6 +148,12 @@ type Server struct {
 	coalescedWaits   atomic.Int64
 	staleServes      atomic.Int64
 	bodyRefetches    atomic.Int64
+	peerFetches      atomic.Int64
+	peerErrors       atomic.Int64
+	peerRetries      atomic.Int64
+	peerFills        atomic.Int64
+	peerServes       atomic.Int64
+	peerMisses       atomic.Int64
 	responsesByClass [6]atomic.Int64 // index = status/100
 }
 
@@ -179,6 +214,7 @@ func (s *Server) Stats() *stats.Stats { return s.st }
 //	GET    /obj/{key}   serve the object (query: size, t)
 //	PUT    /obj/{key}   insert/refresh the object (body = content)
 //	DELETE /obj/{key}   invalidate the object
+//	GET    /peer/{key}  fleet-internal: stored body only, no policy access
 //	GET    /metrics     Prometheus text exposition
 //	GET    /healthz     liveness probe
 //	GET    /statusz     human-readable status
@@ -187,6 +223,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /obj/{key}", s.handleGet)
 	mux.HandleFunc("PUT /obj/{key}", s.handlePut)
 	mux.HandleFunc("DELETE /obj/{key}", s.handleDelete)
+	mux.HandleFunc("GET /peer/{key}", s.handlePeer)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		io.WriteString(w, "ok\n")
@@ -243,44 +280,32 @@ func (s *Server) tick(t int64) int64 {
 	return s.clock.Add(1)
 }
 
-// fetchOrigin performs one coalesced, retried origin fetch. The fetch
-// context is detached from the request context so a departing waiter
-// does not abort the flight for everyone else; each attempt is bounded
-// by OriginTimeout and retries back off exponentially from
-// OriginBackoff.
+// fetchBody performs one coalesced fill of key's body: the peer tier
+// first when configured and the request declared a size, the origin
+// otherwise — both through the shared bounded-backoff implementation
+// (retry.go), each under its own budget. The fetch context is detached
+// from the request context so a departing waiter does not abort the
+// flight for everyone else; coalescing covers the whole chain, so a
+// thundering herd of concurrent misses costs one peer round and at most
+// one origin fetch.
 //
-//scip:coldpath origin fetch: the miss path pays contexts, timers and the flight closure by design
-func (s *Server) fetchOrigin(r *http.Request, shardIdx int, key uint64, size int64) flightResult {
+//scip:coldpath miss path: the fill chain pays contexts, timers and the flight closure by design
+func (s *Server) fetchBody(r *http.Request, shardIdx int, key uint64, size int64) flightResult {
 	ctx := context.WithoutCancel(r.Context())
 	res, shared := s.flights[shardIdx].do(key, func() flightResult {
-		var last flightResult
-		for attempt := 0; ; attempt++ {
-			actx, cancel := ctx, context.CancelFunc(func() {})
-			if s.cfg.OriginTimeout > 0 {
-				actx, cancel = context.WithTimeout(ctx, s.cfg.OriginTimeout)
-			}
-			s.originFetches.Add(1)
-			body, objSize, err := s.cfg.Origin.Fetch(actx, key, size)
-			cancel()
-			if err == nil {
-				return flightResult{body: body, size: objSize}
-			}
-			s.originErrors.Add(1)
-			last = flightResult{err: err}
-			if attempt >= s.cfg.OriginRetries {
-				return last
-			}
-			s.originRetries.Add(1)
-			backoff := s.cfg.OriginBackoff << attempt
-			t := time.NewTimer(backoff)
-			select {
-			case <-ctx.Done():
-				t.Stop()
-				last.err = ctx.Err()
-				return last
-			case <-t.C:
+		if s.cfg.PeerFill != nil && size >= 0 {
+			res := boundedFetch(ctx, s.cfg.PeerFill, key, size,
+				retryPolicy{timeout: s.cfg.PeerTimeout, retries: s.cfg.PeerRetries, backoff: s.cfg.PeerBackoff},
+				fetchCounters{attempts: &s.peerFetches, errors: &s.peerErrors, retries: &s.peerRetries})
+			if res.err == nil {
+				s.peerFills.Add(1)
+				res.peer = true
+				return res
 			}
 		}
+		return boundedFetch(ctx, s.cfg.Origin, key, size,
+			retryPolicy{timeout: s.cfg.OriginTimeout, retries: s.cfg.OriginRetries, backoff: s.cfg.OriginBackoff},
+			fetchCounters{attempts: &s.originFetches, errors: &s.originErrors, retries: &s.originRetries})
 	})
 	if shared {
 		s.coalescedWaits.Add(1)
@@ -318,8 +343,9 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 
 	if size < 0 {
 		// Unknown size: the origin is the authority, so fetch first and
-		// account with the size it reports.
-		res := s.fetchOrigin(r, shardIdx, key, -1)
+		// account with the size it reports (the peer tier is skipped —
+		// see Config.PeerFill).
+		res := s.fetchBody(r, shardIdx, key, -1)
 		if res.err != nil {
 			s.finishWithError(w, shardIdx, key, res.err)
 			return
@@ -344,17 +370,43 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		// bounded body store: refetch without disturbing the accounting.
 		s.bodyRefetches.Add(1)
 	}
-	res := s.fetchOrigin(r, shardIdx, key, size)
+	res := s.fetchBody(r, shardIdx, key, size)
 	if res.err != nil {
 		s.finishWithError(w, shardIdx, key, res.err)
 		return
 	}
 	s.bodies[shardIdx].put(key, res.body)
+	if res.peer {
+		setHeader(w.Header(), "X-Fill", "peer")
+	}
 	state := "MISS"
 	if hit {
 		state = "HIT"
 	}
 	s.serveBody(w, state, shardIdx, res.size, res.body)
+}
+
+// handlePeer serves GET /peer/{key}: the fleet-internal peer-fill
+// endpoint. It answers from the shard's body store alone — no policy
+// access, no logical-clock tick, no stats observation — so a peer
+// asking this node for a body is invisible to every policy decision
+// stream; only the peer_serves/peer_misses counters move. A 404 means
+// "no body here": the asking node falls through to the origin.
+func (s *Server) handlePeer(w http.ResponseWriter, r *http.Request) {
+	key, err := strconv.ParseUint(r.PathValue("key"), 10, 64)
+	if err != nil {
+		http.Error(w, "bad key: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	shardIdx := s.cache.ShardIndex(key)
+	body, ok := s.copyBody(w, shardIdx, key)
+	if !ok {
+		s.peerMisses.Add(1)
+		http.Error(w, "not cached", http.StatusNotFound)
+		return
+	}
+	s.peerServes.Add(1)
+	s.serveBody(w, "PEER", shardIdx, int64(len(body)), body)
 }
 
 // finishWithError ends a GET whose origin fetch failed: a stale body if
@@ -493,6 +545,12 @@ func (s *Server) writeServerMetrics(w io.Writer) {
 	counter("coalesced_requests_total", "Requests that joined an in-flight origin fetch.", s.coalescedWaits.Load())
 	counter("stale_serves_total", "Responses served from a stale body after origin failure.", s.staleServes.Load())
 	counter("body_refetches_total", "Policy hits whose body needed an origin refetch.", s.bodyRefetches.Load())
+	counter("peer_fetches_total", "Outbound peer-fill fetch attempts.", s.peerFetches.Load())
+	counter("peer_errors_total", "Failed outbound peer-fill attempts (misses included).", s.peerErrors.Load())
+	counter("peer_retries_total", "Outbound peer-fill retries.", s.peerRetries.Load())
+	counter("peer_fills_total", "Misses whose body came from a peer instead of the origin.", s.peerFills.Load())
+	counter("peer_serves_total", "Inbound /peer requests answered with a stored body.", s.peerServes.Load())
+	counter("peer_misses_total", "Inbound /peer requests answered 404 (no body stored).", s.peerMisses.Load())
 	fmt.Fprintf(w, "# HELP scip_server_http_responses_total HTTP responses by status class.\n")
 	fmt.Fprintf(w, "# TYPE scip_server_http_responses_total counter\n")
 	for class := 1; class <= 5; class++ {
@@ -527,6 +585,13 @@ func (s *Server) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "origin:     %d fetches, %d errors, %d retries, %d coalesced, %d stale, %d refetches\n",
 		s.originFetches.Load(), s.originErrors.Load(), s.originRetries.Load(),
 		s.coalescedWaits.Load(), s.staleServes.Load(), s.bodyRefetches.Load())
+	peerFill := "off"
+	if s.cfg.PeerFill != nil {
+		peerFill = "on"
+	}
+	fmt.Fprintf(w, "cluster:    peer-fill %s: %d peer fetches (%d fills, %d errors, %d retries); served %d peer reads (%d peer misses)\n",
+		peerFill, s.peerFetches.Load(), s.peerFills.Load(), s.peerErrors.Load(),
+		s.peerRetries.Load(), s.peerServes.Load(), s.peerMisses.Load())
 	fmt.Fprintf(w, "inflight:   %d (goroutines %d)\n", s.inflight.Load(), runtime.NumGoroutine())
 	gc := stats.ReadGC()
 	fmt.Fprintf(w, "gc:         %d cycles, pause %s, heap-scan %.1f MiB, cpu %.4f%%\n",

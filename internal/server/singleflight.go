@@ -2,11 +2,14 @@ package server
 
 import "sync"
 
-// flightResult is what one origin fetch produced.
+// flightResult is what one fill-chain fetch produced. peer marks a body
+// that came from a fleet peer instead of the origin (surfaced as the
+// X-Fill response header and the peer_fills_total counter).
 type flightResult struct {
 	body []byte
 	size int64
 	err  error
+	peer bool
 }
 
 // flight is one in-progress fetch; done is closed when res is final.

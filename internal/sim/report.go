@@ -119,6 +119,37 @@ type GCReport struct {
 	Cells         []GCCell `json:"cells"`
 }
 
+// ClusterCell is one node of the scip-route cluster-bench fleet: which
+// share of the ring-partitioned trace the node owned and what its shard
+// counters measured. MissRatio must be byte-identical to a single-node
+// replay of the same partition (the cluster equivalence invariant) and
+// the harness rejects the run otherwise.
+type ClusterCell struct {
+	Node      string  `json:"node"`
+	Requests  int     `json:"requests"`
+	Hits      int64   `json:"hits"`
+	MissRatio float64 `json:"miss_ratio"`
+}
+
+// ClusterReport is the cluster_matrix section of BENCH.json, produced by
+// `scip-route -clusterbench` (see `make bench-cluster`): an in-process
+// fleet replay through the router, cross-checked node-by-node against
+// single-node replays of the ring partitions, plus the router's added
+// proxy cost.
+type ClusterReport struct {
+	GeneratedUnix  int64         `json:"generated_unix"`
+	Trace          string        `json:"trace"`
+	Policy         string        `json:"policy"`
+	Nodes          int           `json:"nodes"`
+	VNodes         int           `json:"vnodes"`
+	Shards         int           `json:"shards"`
+	Requests       int           `json:"requests"`
+	RouteKreqSec   float64       `json:"route_kreq_per_sec"`
+	RouteP50Micros float64       `json:"route_p50_us"`
+	RouteP99Micros float64       `json:"route_p99_us"`
+	Cells          []ClusterCell `json:"cells"`
+}
+
 // LoadReport is the final JSON document of a scip-load run. It shares the
 // BENCH.json conventions (generated_unix, total_seconds, gomaxprocs) so
 // runs can be compared and archived alongside figure timings.

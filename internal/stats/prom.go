@@ -54,19 +54,34 @@ func WritePrometheus(w io.Writer, snap Snapshot, namespace string) error {
 		}
 	}
 
-	hist := namespace + "_access_latency_seconds"
-	fmt.Fprintf(ew, "# HELP %s Cache access latency (policy decision under the shard lock).\n", hist)
-	fmt.Fprintf(ew, "# TYPE %s histogram\n", hist)
+	return WriteHistogramPrometheus(ew, namespace+"_access_latency_seconds",
+		"Cache access latency (policy decision under the shard lock).",
+		snap.Latency, snap.LatencySumNanos)
+}
+
+// WriteHistogramPrometheus renders one latency histogram (buckets on the
+// package's power-of-two geometry, as produced by Histogram.Snapshot or
+// carried in a stats Snapshot) as a Prometheus histogram family with
+// cumulative _bucket series, _sum and _count. Both the per-shard cache
+// exposition and the router's scip_route_proxy_latency_seconds family
+// render through it.
+func WriteHistogramPrometheus(w io.Writer, name, help string, buckets [NumLatencyBuckets]int64, sumNanos int64) error {
+	ew, ok := w.(*errWriter)
+	if !ok {
+		ew = &errWriter{w: w}
+	}
+	fmt.Fprintf(ew, "# HELP %s %s\n", name, help)
+	fmt.Fprintf(ew, "# TYPE %s histogram\n", name)
 	var cum int64
-	for b, n := range snap.Latency {
+	for b, n := range buckets {
 		cum += n
 		le := strconv.FormatFloat(LatencyBucketBound(b).Seconds(), 'g', -1, 64)
-		fmt.Fprintf(ew, "%s_bucket{le=\"%s\"} %d\n", hist, le, cum)
+		fmt.Fprintf(ew, "%s_bucket{le=\"%s\"} %d\n", name, le, cum)
 	}
-	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", hist, cum)
-	sum := strconv.FormatFloat(float64(snap.LatencySumNanos)/1e9, 'g', -1, 64)
-	fmt.Fprintf(ew, "%s_sum %s\n", hist, sum)
-	fmt.Fprintf(ew, "%s_count %d\n", hist, cum)
+	fmt.Fprintf(ew, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	sum := strconv.FormatFloat(float64(sumNanos)/1e9, 'g', -1, 64)
+	fmt.Fprintf(ew, "%s_sum %s\n", name, sum)
+	fmt.Fprintf(ew, "%s_count %d\n", name, cum)
 	return ew.err
 }
 

@@ -97,6 +97,17 @@ func (h *Histogram) ObserveN(d time.Duration, n int) {
 	h.sum.Add(d.Nanoseconds())
 }
 
+// Snapshot copies the histogram's current buckets and nanosecond sum
+// with one atomic load each. Standalone Histogram users (the router's
+// proxy-latency histogram) pair it with WriteHistogramPrometheus;
+// Stats.Snapshot embeds the same values in its Snapshot struct.
+func (h *Histogram) Snapshot() (buckets [NumLatencyBuckets]int64, sumNanos int64) {
+	for i := range h.buckets {
+		buckets[i] = h.buckets[i].Load()
+	}
+	return buckets, h.sum.Load()
+}
+
 // Stats aggregates per-shard counters and the shared latency histogram
 // for one cache front.
 type Stats struct {
